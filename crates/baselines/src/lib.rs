@@ -1,0 +1,25 @@
+//! # canary-baselines
+//!
+//! The two comparison tools of the paper's evaluation (§7), rebuilt on
+//! the same IR so the Fig. 7 / Tbl. 1 head-to-heads can be regenerated:
+//!
+//! * [`saber`] — Andersen-style, flow- and path-insensitive exhaustive
+//!   points-to + full-sparse unguarded VFG (Saber, ISSTA 2012);
+//! * [`fsam`] — flow-sensitive multithreaded points-to with iterated
+//!   thread-interference recomputation (Fsam, CGO 2016).
+//!
+//! Both expose budgeted entry points ([`Deadline`]) so the harness can
+//! reproduce the `NA` (timeout) cells, and both check use-after-free
+//! with the *unguarded* source-sink reachability that gives them their
+//! near-100 % false-positive rates in Tbl. 1.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+pub mod fsam;
+pub mod saber;
+
+pub use common::{BaselineReport, Budgeted, Deadline, PointsTo};
+pub use fsam::FsamResult;
+pub use saber::SaberResult;

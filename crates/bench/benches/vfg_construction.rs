@@ -1,0 +1,40 @@
+//! Criterion bench behind Fig. 7: guarded VFG construction (Canary,
+//! Alg. 1 + Alg. 2) versus the exhaustive baselines, per subject size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use canary_bench::{measure_canary_vfg, measure_fsam_vfg, measure_saber_vfg};
+use canary_workloads::{generate, WorkloadSpec};
+
+fn spec(stmts: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        target_stmts: stmts,
+        ..WorkloadSpec::small(0xF167)
+    }
+}
+
+fn bench_vfg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vfg_construction");
+    g.sample_size(10);
+    for &stmts in &[300usize, 1200, 4800] {
+        let w = generate(&spec(stmts));
+        g.bench_with_input(BenchmarkId::new("canary", stmts), &w, |b, w| {
+            b.iter(|| measure_canary_vfg(w));
+        });
+        g.bench_with_input(BenchmarkId::new("saber", stmts), &w, |b, w| {
+            b.iter(|| measure_saber_vfg(w, Duration::from_secs(120)));
+        });
+        // Fsam only on the sizes it can finish repeatedly.
+        if stmts <= 1200 {
+            g.bench_with_input(BenchmarkId::new("fsam", stmts), &w, |b, w| {
+                b.iter(|| measure_fsam_vfg(w, Duration::from_secs(120)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_vfg);
+criterion_main!(benches);

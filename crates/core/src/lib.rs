@@ -1,0 +1,394 @@
+//! # canary-core
+//!
+//! The end-to-end Canary pipeline (Fig. 1 of the paper):
+//!
+//! ```text
+//! concurrent program ──▶ data dependence (Alg. 1) ──▶ VFG
+//!                        interference dependence (Alg. 2) ──▶ VFG
+//!                        source-sink checking (§5) + SMT ──▶ bug reports
+//! ```
+//!
+//! [`Canary`] wires the substrate crates together and exposes one-call
+//! analysis with per-phase metrics, which is also what the benchmark
+//! harness samples to regenerate the paper's figures.
+//!
+//! # Examples
+//!
+//! Analyzing the paper's Fig. 2 program (bug-free — the report list is
+//! empty because the SMT stage refutes the contradictory guards):
+//!
+//! ```
+//! use canary_core::Canary;
+//!
+//! let src = r#"
+//!     fn main(a) {
+//!         x = alloc o1;
+//!         *x = a;
+//!         fork t thread1(x);
+//!         if (theta1) { c = *x; use c; }
+//!     }
+//!     fn thread1(y) {
+//!         b = alloc o2;
+//!         if (!theta1) { *y = b; free b; }
+//!     }
+//! "#;
+//! let outcome = Canary::new().analyze_source(src)?;
+//! assert!(outcome.reports.is_empty());
+//! assert!(outcome.metrics.interference_edges >= 1);
+//! # Ok::<(), canary_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use canary_detect::{BugKind, BugReport, DetectContext, DetectOptions, DetectStats, RefutedCandidate};
+use canary_interference::{InterferenceOptions, InterferenceResult};
+use canary_ir::{
+    clone_contexts, CallGraph, CloneOptions, MhpAnalysis, ParseError, ParseOptions, Program,
+    ThreadStructure, ValidationError,
+};
+use canary_smt::TermPool;
+
+pub use canary_detect::{self as detect};
+pub use canary_ir::{self as ir};
+pub use canary_smt::{self as smt};
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct CanaryConfig {
+    /// Front-end bounding options (loop unrolling depth, §3.1/§6).
+    pub parse: ParseOptions,
+    /// Alg. 2 options (MHP pruning toggle, fixpoint cap).
+    pub interference: InterferenceOptions,
+    /// Checker options (§5.2 solver strategy, inter-thread filter,
+    /// §9 synchronization constraints).
+    pub detect: DetectOptions,
+    /// Which properties to check.
+    pub checkers: Vec<BugKind>,
+    /// Clone-based context sensitivity depth (§5.1; the paper's §7.2
+    /// uses 6). Zero disables the transform; when non-zero the program
+    /// is rewritten before analysis and reports reference the rewritten
+    /// labels (the transformed program travels in the outcome).
+    pub context_depth: usize,
+}
+
+impl Default for CanaryConfig {
+    fn default() -> Self {
+        CanaryConfig {
+            parse: ParseOptions::default(),
+            interference: InterferenceOptions::default(),
+            detect: DetectOptions::default(),
+            checkers: vec![
+                BugKind::UseAfterFree,
+                BugKind::DoubleFree,
+                BugKind::NullDeref,
+                BugKind::DataLeak,
+            ],
+            context_depth: 0,
+        }
+    }
+}
+
+/// Per-run measurements, the raw material for the Fig. 7/8 harnesses.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Statements in the bounded program.
+    pub stmt_count: usize,
+    /// Static threads.
+    pub thread_count: usize,
+    /// VFG node count after both analyses.
+    pub vfg_nodes: usize,
+    /// VFG edge count after both analyses.
+    pub vfg_edges: usize,
+    /// Interference edges added by Alg. 2.
+    pub interference_edges: usize,
+    /// Escaped objects found.
+    pub escaped_objects: usize,
+    /// Approximate VFG bytes (Fig. 7b accounting).
+    pub vfg_bytes: usize,
+    /// Interned SMT terms (guard memory).
+    pub term_count: usize,
+    /// Time in Alg. 1.
+    pub t_dataflow: Duration,
+    /// Time in Alg. 2.
+    pub t_interference: Duration,
+    /// Time in §5 checking (path search + SMT).
+    pub t_detect: Duration,
+    /// Candidate paths / SMT queries / confirmed reports.
+    pub detect: DetectStats,
+}
+
+impl Metrics {
+    /// Total VFG-construction time (the Fig. 7a quantity).
+    pub fn t_vfg(&self) -> Duration {
+        self.t_dataflow + self.t_interference
+    }
+
+    /// Total end-to-end time (the Fig. 8 quantity).
+    pub fn t_total(&self) -> Duration {
+        self.t_vfg() + self.t_detect
+    }
+}
+
+/// The result of one analysis run.
+#[derive(Debug)]
+pub struct AnalysisOutcome {
+    /// Confirmed findings, sorted by (source, sink).
+    pub reports: Vec<BugReport>,
+    /// Per-phase measurements.
+    pub metrics: Metrics,
+    /// The context-cloned program actually analyzed, when
+    /// [`CanaryConfig::context_depth`] > 0 (report labels refer to it).
+    pub analyzed_program: Option<Program>,
+    /// Dismissed candidates with minimized refutation cores, when
+    /// [`DetectOptions::explain_refutations`] is on.
+    pub refuted: Vec<RefutedCandidate>,
+}
+
+impl AnalysisOutcome {
+    /// Renders every report against the program (using the cloned
+    /// program when context sensitivity rewrote it).
+    pub fn render(&self, prog: &Program) -> String {
+        let prog = self.analyzed_program.as_ref().unwrap_or(prog);
+        self.reports
+            .iter()
+            .map(|r| r.render(prog))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Errors surfaced by the facade.
+#[derive(Debug)]
+pub enum Error {
+    /// The source text failed to parse.
+    Parse(ParseError),
+    /// The parsed program violates the bounded-program invariants.
+    Validation(ValidationError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Validation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<ValidationError> for Error {
+    fn from(e: ValidationError) -> Self {
+        Error::Validation(e)
+    }
+}
+
+/// The Canary analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct Canary {
+    config: CanaryConfig,
+}
+
+impl Canary {
+    /// An analyzer with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An analyzer with explicit configuration.
+    pub fn with_config(config: CanaryConfig) -> Self {
+        Canary { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CanaryConfig {
+        &self.config
+    }
+
+    /// Parses, validates and analyzes source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Parse`] or [`Error::Validation`] for malformed
+    /// input.
+    pub fn analyze_source(&self, src: &str) -> Result<AnalysisOutcome, Error> {
+        let prog = canary_ir::parse_with(src, &self.config.parse)?;
+        prog.validate()?;
+        Ok(self.analyze(&prog))
+    }
+
+    /// Analyzes an already-built bounded program, applying clone-based
+    /// context sensitivity first when configured.
+    pub fn analyze(&self, prog: &Program) -> AnalysisOutcome {
+        if self.config.context_depth > 0 {
+            let cloned = clone_contexts(
+                prog,
+                &CloneOptions {
+                    depth: self.config.context_depth,
+                    ..CloneOptions::default()
+                },
+            );
+            let mut outcome = self.analyze_uncloned(&cloned);
+            outcome.analyzed_program = Some(cloned);
+            return outcome;
+        }
+        self.analyze_uncloned(prog)
+    }
+
+    fn analyze_uncloned(&self, prog: &Program) -> AnalysisOutcome {
+        let (mut pool, df, _ir_result, cg, ts, metrics0) = self.build_vfg(prog);
+        let mhp = MhpAnalysis::new(prog, &cg, &ts);
+        let mut metrics = metrics0;
+
+        let t0 = Instant::now();
+        let ctx = DetectContext::new(prog, &ts, &mhp, &df, &self.config.detect);
+        let mut stats = DetectStats::default();
+        let mut reports = Vec::new();
+        let mut refuted = Vec::new();
+        for &kind in &self.config.checkers {
+            let (rs, refs) = canary_detect::check_kind_explained(
+                &ctx,
+                &mut pool,
+                kind,
+                &self.config.detect,
+                &mut stats,
+            );
+            reports.extend(rs);
+            refuted.extend(refs);
+        }
+        metrics.t_detect = t0.elapsed();
+        metrics.detect = stats;
+        metrics.term_count = pool.len();
+        AnalysisOutcome {
+            reports,
+            metrics,
+            analyzed_program: None,
+            refuted,
+        }
+    }
+
+    /// Runs only the VFG-construction phases (Alg. 1 + Alg. 2); the
+    /// Fig. 7 comparison measures exactly this.
+    #[allow(clippy::type_complexity)]
+    pub fn build_vfg(
+        &self,
+        prog: &Program,
+    ) -> (
+        TermPool,
+        canary_dataflow::DataflowResult,
+        InterferenceResult,
+        CallGraph,
+        ThreadStructure,
+        Metrics,
+    ) {
+        let mut metrics = Metrics {
+            stmt_count: prog.stmt_count(),
+            thread_count: prog.threads.len(),
+            ..Metrics::default()
+        };
+        let mut pool = TermPool::new();
+
+        let t0 = Instant::now();
+        let cg = CallGraph::build(prog);
+        let ts = ThreadStructure::compute(prog, &cg);
+        let mut df = canary_dataflow::run(prog, &cg, &mut pool);
+        metrics.t_dataflow = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mhp = MhpAnalysis::new(prog, &cg, &ts);
+        let ir_result = canary_interference::run(
+            prog,
+            &ts,
+            &mhp,
+            &mut df,
+            &mut pool,
+            &self.config.interference,
+        );
+        metrics.t_interference = t1.elapsed();
+        drop(mhp);
+
+        metrics.vfg_nodes = df.vfg.node_count();
+        metrics.vfg_edges = df.vfg.edge_count();
+        metrics.interference_edges = df.vfg.interference_edge_count();
+        metrics.escaped_objects = ir_result.escaped.len();
+        metrics.vfg_bytes = df.vfg.approx_bytes();
+        metrics.term_count = pool.len();
+        (pool, df, ir_result, cg, ts, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_checks_all_kinds() {
+        let c = Canary::new();
+        assert_eq!(c.config().checkers.len(), 4);
+    }
+
+    #[test]
+    fn analyze_source_reports_sequential_uaf() {
+        let outcome = Canary::new()
+            .analyze_source("fn main() { p = alloc o; free p; use p; }")
+            .unwrap();
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].kind, BugKind::UseAfterFree);
+        assert!(outcome.metrics.t_total() >= outcome.metrics.t_vfg());
+        assert!(outcome.metrics.stmt_count >= 3);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = Canary::new().analyze_source("fn main() {").unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn metrics_capture_vfg_shape() {
+        let outcome = Canary::new()
+            .analyze_source(
+                "fn main() { x = alloc o1; fork t w(x); c = *x; use c; }
+                 fn w(y) { b = alloc o2; *y = b; }",
+            )
+            .unwrap();
+        assert!(outcome.metrics.vfg_nodes > 0);
+        assert!(outcome.metrics.vfg_edges > 0);
+        assert!(outcome.metrics.interference_edges >= 1);
+        assert!(outcome.metrics.escaped_objects >= 1);
+        assert!(outcome.metrics.vfg_bytes > 0);
+        assert!(outcome.metrics.term_count > 2);
+    }
+
+    #[test]
+    fn render_mentions_kind() {
+        let src = "fn main() { p = alloc o; free p; use p; }";
+        let prog = canary_ir::parse(src).unwrap();
+        let outcome = Canary::new().analyze(&prog);
+        let text = outcome.render(&prog);
+        assert!(text.contains("use-after-free"));
+    }
+
+    #[test]
+    fn checker_subset_respected() {
+        let config = CanaryConfig {
+            checkers: vec![BugKind::DataLeak],
+            ..CanaryConfig::default()
+        };
+        let outcome = Canary::with_config(config)
+            .analyze_source("fn main() { p = alloc o; free p; use p; }")
+            .unwrap();
+        assert!(outcome.reports.is_empty());
+    }
+}

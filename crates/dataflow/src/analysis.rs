@@ -1,0 +1,596 @@
+//! Algorithm 1: thread-modular data-dependence analysis.
+//!
+//! One pass over each function in bottom-up thread-call-graph order:
+//! a flow-sensitive, guarded intra-procedural points-to analysis that
+//! resolves local indirect flows (Fig. 6), builds the intra-thread
+//! value-flow edges, and summarizes each function's side effects as a
+//! procedural transfer function for its callers. Context-dependent
+//! pointer values stay symbolic in the formal parameters
+//! ([`Sym::Param`], [`Sym::DerefParam`]); fork sites transfer *no*
+//! summary (Alg. 1 lines 23–24) — inter-thread effects are the business
+//! of the interference analysis.
+
+use std::collections::HashMap;
+
+use canary_ir::{CallGraph, FuncId, Inst, Label, Program, Terminator, VarId};
+use canary_smt::{TermId, TermPool};
+use canary_vfg::{EdgeKind, NodeId, Vfg};
+
+use crate::pathcond::PathConditions;
+use crate::symbols::{insert_guarded, CellSet, Guarded, MemKey, MemVal, PtsSet, Sym};
+
+/// A store statement and its analysis-time facts.
+#[derive(Clone, Debug)]
+pub struct StoreSite {
+    /// The store's label.
+    pub label: Label,
+    /// The address operand.
+    pub addr: VarId,
+    /// The stored variable.
+    pub src: VarId,
+    /// The store's path condition.
+    pub guard: TermId,
+}
+
+/// A load statement and its analysis-time facts.
+#[derive(Clone, Debug)]
+pub struct LoadSite {
+    /// The load's label.
+    pub label: Label,
+    /// The address operand.
+    pub addr: VarId,
+    /// The destination variable.
+    pub dst: VarId,
+    /// The load's path condition.
+    pub guard: TermId,
+}
+
+/// A load of a parameter cell's initial contents, exported in the
+/// function summary so callers can connect their stores to it.
+#[derive(Clone, Debug)]
+pub struct ParamLoad {
+    /// Formal parameter index whose cell is read.
+    pub param: usize,
+    /// Destination variable of the load.
+    pub dst: VarId,
+    /// Label of the load.
+    pub label: Label,
+    /// Guard (path condition ∧ address guard).
+    pub guard: TermId,
+}
+
+/// The procedural transfer function of one function (its summary).
+#[derive(Clone, Debug, Default)]
+pub struct FuncSummary {
+    /// Memory state at function exit, restricted to cells visible to the
+    /// caller (`Obj` cells and `ParamCell`s).
+    pub exit_mem: Vec<(MemKey, CellSet)>,
+    /// Loads of parameter-cell initial contents.
+    pub param_loads: Vec<ParamLoad>,
+    /// Return statements: (label, guard, returned variables).
+    pub returns: Vec<(Label, TermId, Vec<VarId>)>,
+}
+
+/// Everything Alg. 1 produces, consumed by Alg. 2 and the checkers.
+#[derive(Debug)]
+pub struct DataflowResult {
+    /// The value-flow graph with direct and intra-thread indirect edges.
+    pub vfg: Vfg,
+    /// Guarded (symbolic) points-to sets per top-level variable.
+    pub pgtop: Vec<PtsSet>,
+    /// Path condition per statement.
+    pub path_conds: PathConditions,
+    /// All store sites.
+    pub stores: Vec<StoreSite>,
+    /// All load sites.
+    pub loads: Vec<LoadSite>,
+    /// Definition anchor per variable: its defining label (parameters
+    /// anchor at their function's first label).
+    pub def_site: Vec<Option<Label>>,
+    /// Per-function summaries.
+    pub summaries: Vec<FuncSummary>,
+}
+
+impl DataflowResult {
+    /// The VFG node where `v` is defined (its single partial-SSA def, or
+    /// its parameter anchor).
+    pub fn def_node(&self, vfg: &mut Vfg, v: VarId) -> Option<NodeId> {
+        self.def_site[v.index()].map(|l| vfg.def_node(v, l))
+    }
+}
+
+/// Runs Algorithm 1 over the whole program.
+pub fn run(prog: &Program, cg: &CallGraph, pool: &mut TermPool) -> DataflowResult {
+    let path_conds = PathConditions::compute(prog, pool);
+    let mut a = Analyzer {
+        prog,
+        cg,
+        pool,
+        pc: path_conds,
+        vfg: Vfg::new(),
+        pgtop: vec![Vec::new(); prog.vars.len()],
+        def_site: vec![None; prog.vars.len()],
+        stores: Vec::new(),
+        loads: Vec::new(),
+        summaries: vec![FuncSummary::default(); prog.funcs.len()],
+        analyzed: vec![false; prog.funcs.len()],
+    };
+    a.compute_def_sites();
+    for f in cg.bottom_up.clone() {
+        a.analyze_func(f);
+        a.analyzed[f.index()] = true;
+    }
+    DataflowResult {
+        vfg: a.vfg,
+        pgtop: a.pgtop,
+        path_conds: a.pc,
+        stores: a.stores,
+        loads: a.loads,
+        def_site: a.def_site,
+        summaries: a.summaries,
+    }
+}
+
+struct Analyzer<'p> {
+    prog: &'p Program,
+    cg: &'p CallGraph,
+    pool: &'p mut TermPool,
+    pc: PathConditions,
+    vfg: Vfg,
+    pgtop: Vec<PtsSet>,
+    def_site: Vec<Option<Label>>,
+    stores: Vec<StoreSite>,
+    loads: Vec<LoadSite>,
+    summaries: Vec<FuncSummary>,
+    analyzed: Vec<bool>,
+}
+
+type Mem = HashMap<MemKey, CellSet>;
+
+impl Analyzer<'_> {
+    /// Anchors every variable at its defining statement; parameters at
+    /// their function's first label.
+    fn compute_def_sites(&mut self) {
+        for l in self.prog.labels() {
+            if let Some(d) = self.prog.inst(l).def() {
+                self.def_site[d.index()] = Some(l);
+            }
+        }
+        for func in &self.prog.funcs {
+            if let Some(first) = func.labels().next() {
+                for &p in &func.params {
+                    if self.def_site[p.index()].is_none() {
+                        self.def_site[p.index()] = Some(first);
+                    }
+                }
+            }
+        }
+    }
+
+    fn def_node(&mut self, v: VarId) -> Option<NodeId> {
+        let l = self.def_site[v.index()]?;
+        Some(self.vfg.def_node(v, l))
+    }
+
+    fn analyze_func(&mut self, f: FuncId) {
+        let func = self.prog.func(f).clone();
+        if func.blocks.iter().all(|b| b.stmts.is_empty()) {
+            return;
+        }
+        // Seed parameter points-to symbolically.
+        for (i, &p) in func.params.iter().enumerate() {
+            let tt = self.pool.tt();
+            insert_guarded(self.pool, &mut self.pgtop[p.index()], tt, Sym::Param(i));
+        }
+        // Flow-sensitive walk in reverse post-order; block-entry memory
+        // states merge predecessor exits.
+        let rpo = func.reverse_post_order();
+        let mut block_in: HashMap<u32, Mem> = HashMap::new();
+        block_in.insert(func.entry.0, Mem::new());
+        let mut exit_mem = Mem::new();
+        let mut returns: Vec<(Label, TermId, Vec<VarId>)> = Vec::new();
+        let mut param_loads: Vec<ParamLoad> = Vec::new();
+        for blk in rpo {
+            let mut mem = block_in.remove(&blk.0).unwrap_or_default();
+            for &l in &func.block(blk).stmts {
+                self.transfer(f, l, &mut mem, &mut returns, &mut param_loads);
+            }
+            match &func.block(blk).term {
+                Terminator::Exit => {
+                    merge_mem(self.pool, &mut exit_mem, &mem);
+                }
+                term => {
+                    for succ in term.successors() {
+                        let entry = block_in.entry(succ.0).or_default();
+                        merge_mem(self.pool, entry, &mem);
+                    }
+                }
+            }
+        }
+        self.summaries[f.index()] = FuncSummary {
+            exit_mem: {
+                let mut v: Vec<(MemKey, CellSet)> = exit_mem.into_iter().collect();
+                v.sort_by_key(|(k, _)| *k);
+                v
+            },
+            param_loads,
+            returns,
+        };
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn transfer(
+        &mut self,
+        f: FuncId,
+        l: Label,
+        mem: &mut Mem,
+        returns: &mut Vec<(Label, TermId, Vec<VarId>)>,
+        param_loads: &mut Vec<ParamLoad>,
+    ) {
+        let phi = self.pc.guard(l);
+        match self.prog.inst(l).clone() {
+            Inst::Alloc { dst, obj } => {
+                insert_guarded(self.pool, &mut self.pgtop[dst.index()], phi, Sym::Obj(obj));
+                let on = self.vfg.obj_node(obj, l);
+                let dn = self.vfg.def_node(dst, l);
+                self.vfg.add_edge(on, dn, EdgeKind::Direct, phi);
+            }
+            Inst::Copy { dst, src } | Inst::Un { dst, src, .. } => {
+                self.flow_var(src, dst, l, phi);
+            }
+            Inst::Bin { dst, lhs, rhs, .. } => {
+                self.flow_var(lhs, dst, l, phi);
+                self.flow_var(rhs, dst, l, phi);
+            }
+            Inst::FuncAddr { dst, .. } => {
+                self.vfg.def_node(dst, l);
+            }
+            Inst::AssignNull { dst } => {
+                insert_guarded(self.pool, &mut self.pgtop[dst.index()], phi, Sym::Null);
+                self.vfg.def_node(dst, l);
+            }
+            Inst::TaintSource { dst } => {
+                self.vfg.def_node(dst, l);
+            }
+            Inst::Load { dst, addr } => {
+                self.loads.push(LoadSite {
+                    label: l,
+                    addr,
+                    dst,
+                    guard: phi,
+                });
+                let dn = self.vfg.def_node(dst, l);
+                let addr_pts = self.pgtop[addr.index()].clone();
+                for Guarded { guard: gamma, value: sym } in addr_pts {
+                    let key = match sym {
+                        Sym::Obj(o) => MemKey::Obj(o),
+                        Sym::Param(i) => MemKey::ParamCell(i),
+                        Sym::Null | Sym::DerefParam(_) => continue,
+                    };
+                    let base = self.pool.and2(phi, gamma);
+                    if let Some(cells) = mem.get(&key).cloned() {
+                        for Guarded { guard: delta, value: val } in cells {
+                            let g = self.pool.and2(base, delta);
+                            if g == self.pool.ff() {
+                                continue;
+                            }
+                            if let Some(ptee) = val.pointee {
+                                insert_guarded(self.pool, &mut self.pgtop[dst.index()], g, ptee);
+                            }
+                            if let Some((sl, sv)) = val.origin {
+                                let sn = self.vfg.def_node(sv, sl);
+                                self.vfg.add_edge(sn, dn, EdgeKind::DataDep, g);
+                            }
+                        }
+                    }
+                    if let MemKey::ParamCell(i) = key {
+                        // The cell's initial (caller-provided) contents.
+                        insert_guarded(
+                            self.pool,
+                            &mut self.pgtop[dst.index()],
+                            base,
+                            Sym::DerefParam(i),
+                        );
+                        param_loads.push(ParamLoad {
+                            param: i,
+                            dst,
+                            label: l,
+                            guard: base,
+                        });
+                    }
+                }
+            }
+            Inst::Store { addr, src } => {
+                self.stores.push(StoreSite {
+                    label: l,
+                    addr,
+                    src,
+                    guard: phi,
+                });
+                // Direct edge: the stored value's def flows into the
+                // store occurrence node `src@ℓ` (the `a@ℓ3` of Fig. 2b).
+                let store_node = self.vfg.def_node(src, l);
+                if let Some(sn) = self.def_node(src) {
+                    if sn != store_node {
+                        self.vfg.add_edge(sn, store_node, EdgeKind::Direct, phi);
+                    }
+                }
+                let addr_pts = self.pgtop[addr.index()].clone();
+                let strong = addr_pts.len() == 1;
+                let src_pts = self.pgtop[src.index()].clone();
+                for Guarded { guard: gamma, value: sym } in addr_pts {
+                    let key = match sym {
+                        Sym::Obj(o) => MemKey::Obj(o),
+                        Sym::Param(i) => MemKey::ParamCell(i),
+                        Sym::Null | Sym::DerefParam(_) => continue,
+                    };
+                    let base = self.pool.and2(phi, gamma);
+                    let mut new_entries: CellSet = Vec::new();
+                    if src_pts.is_empty() {
+                        insert_guarded(
+                            self.pool,
+                            &mut new_entries,
+                            base,
+                            MemVal {
+                                pointee: None,
+                                origin: Some((l, src)),
+                            },
+                        );
+                    } else {
+                        for Guarded { guard: delta, value: s } in &src_pts {
+                            let g = self.pool.and2(base, *delta);
+                            insert_guarded(
+                                self.pool,
+                                &mut new_entries,
+                                g,
+                                MemVal {
+                                    pointee: Some(*s),
+                                    origin: Some((l, src)),
+                                },
+                            );
+                        }
+                    }
+                    let cell = mem.entry(key).or_default();
+                    if strong {
+                        // Alg. 1 line 16–17: singleton ⇒ strong update.
+                        *cell = new_entries;
+                    } else {
+                        for e in new_entries {
+                            insert_guarded(self.pool, cell, e.guard, e.value);
+                        }
+                    }
+                }
+            }
+            Inst::Call { dsts, callee: _, args } => {
+                for &g in self.cg.targets(l) {
+                    self.bind_args(g, &args, phi);
+                    if self.analyzed[g.index()] {
+                        self.apply_summary(f, g, l, &dsts, &args, phi, mem, param_loads);
+                    }
+                }
+            }
+            Inst::Fork { entry: _, args, .. } => {
+                // Bind arguments into the thread entry (value flows into
+                // the child), but apply no summary: interference is
+                // Alg. 2's job (Alg. 1 lines 23–24).
+                for &g in self.cg.targets(l) {
+                    self.bind_args(g, &args, phi);
+                }
+            }
+            Inst::Free { ptr } | Inst::Deref { ptr } | Inst::TaintSink { src: ptr } => {
+                let un = self.vfg.def_node(ptr, l);
+                if let Some(dn) = self.def_node(ptr) {
+                    if dn != un {
+                        self.vfg.add_edge(dn, un, EdgeKind::Direct, phi);
+                    }
+                }
+            }
+            Inst::Return { vals } => {
+                for &v in &vals {
+                    self.def_node(v);
+                }
+                returns.push((l, phi, vals));
+            }
+            Inst::Join { .. }
+            | Inst::Lock { .. }
+            | Inst::Unlock { .. }
+            | Inst::Wait { .. }
+            | Inst::Notify { .. }
+            | Inst::Nop => {}
+        }
+    }
+
+    /// `dst = src` style flow: guarded points-to copy + direct edge.
+    fn flow_var(&mut self, src: VarId, dst: VarId, l: Label, phi: TermId) {
+        let entries = self.pgtop[src.index()].clone();
+        for Guarded { guard, value } in entries {
+            let g = self.pool.and2(guard, phi);
+            insert_guarded(self.pool, &mut self.pgtop[dst.index()], g, value);
+        }
+        let dn = self.vfg.def_node(dst, l);
+        if let Some(sn) = self.def_node(src) {
+            self.vfg.add_edge(sn, dn, EdgeKind::Direct, phi);
+        }
+    }
+
+    /// Direct argument→parameter value-flow edges for a call or fork.
+    fn bind_args(&mut self, callee: FuncId, args: &[VarId], phi: TermId) {
+        let params = self.prog.func(callee).params.clone();
+        for (i, &a) in args.iter().enumerate() {
+            let Some(&p) = params.get(i) else { continue };
+            let (Some(an), Some(pn)) = (self.def_node(a), self.def_node(p)) else {
+                continue;
+            };
+            self.vfg.add_edge(an, pn, EdgeKind::Direct, phi);
+        }
+    }
+
+    /// Applies `callee`'s procedural transfer function at a call site
+    /// (Alg. 1 lines 21–22).
+    #[allow(clippy::too_many_arguments)]
+    fn apply_summary(
+        &mut self,
+        caller: FuncId,
+        callee: FuncId,
+        call_label: Label,
+        dsts: &[VarId],
+        args: &[VarId],
+        phi: TermId,
+        mem: &mut Mem,
+        caller_param_loads: &mut Vec<ParamLoad>,
+    ) {
+        let summary = self.summaries[callee.index()].clone();
+        // 1. Returns: value flow + substituted points-to. The edge
+        // leaves the returned variable's *definition* node so the flow
+        // chain from its producers stays connected.
+        for (rl, rguard, vals) in &summary.returns {
+            for (k, &dst) in dsts.iter().enumerate() {
+                let Some(&rv) = vals.get(k) else { continue };
+                let g = self.pool.and2(phi, *rguard);
+                let Some(rn) = self.def_node(rv) else { continue };
+                let _ = rl;
+                let dn = self.vfg.def_node(dst, call_label);
+                self.vfg.add_edge(rn, dn, EdgeKind::Direct, g);
+                let rpts = self.pgtop[rv.index()].clone();
+                for Guarded { guard, value } in rpts {
+                    let base = self.pool.and2(g, guard);
+                    for (sg, s) in self.subst_sym(value, args, mem) {
+                        let gg = self.pool.and2(base, sg);
+                        if let Some(s) = s {
+                            insert_guarded(self.pool, &mut self.pgtop[dst.index()], gg, s);
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Exit memory effects, rebased into the caller's state.
+        for (key, cells) in &summary.exit_mem {
+            let resolved_keys: Vec<(TermId, MemKey)> = match key {
+                MemKey::Obj(o) => vec![(self.pool.tt(), MemKey::Obj(*o))],
+                MemKey::ParamCell(i) => {
+                    let Some(&arg) = args.get(*i) else { continue };
+                    self.pgtop[arg.index()]
+                        .clone()
+                        .into_iter()
+                        .filter_map(|e| match e.value {
+                            Sym::Obj(o) => Some((e.guard, MemKey::Obj(o))),
+                            Sym::Param(j) => Some((e.guard, MemKey::ParamCell(j))),
+                            _ => None,
+                        })
+                        .collect()
+                }
+            };
+            for (kg, rkey) in resolved_keys {
+                for Guarded { guard: delta, value: val } in cells {
+                    let base3 = self.pool.and2(phi, kg);
+                    let base = self.pool.and2(base3, *delta);
+                    let pointees: Vec<(TermId, Option<Sym>)> = match val.pointee {
+                        None => vec![(self.pool.tt(), None)],
+                        Some(s) => self.subst_sym(s, args, mem),
+                    };
+                    for (sg, ptee) in pointees {
+                        let g = self.pool.and2(base, sg);
+                        let cell = mem.entry(rkey).or_default();
+                        insert_guarded(
+                            self.pool,
+                            cell,
+                            g,
+                            MemVal {
+                                pointee: ptee,
+                                origin: val.origin,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // 3. Parameter-cell loads: connect the caller's store origins to
+        //    the callee's load destinations.
+        for pl in &summary.param_loads {
+            let Some(&arg) = args.get(pl.param) else {
+                continue;
+            };
+            let arg_pts = self.pgtop[arg.index()].clone();
+            for Guarded { guard: ga, value: s } in arg_pts {
+                let base2 = self.pool.and2(phi, ga);
+                let base = self.pool.and2(base2, pl.guard);
+                match s {
+                    Sym::Obj(o) => {
+                        let Some(cells) = mem.get(&MemKey::Obj(o)).cloned() else {
+                            continue;
+                        };
+                        for Guarded { guard: delta, value: val } in cells {
+                            let Some((sl, sv)) = val.origin else { continue };
+                            let g = self.pool.and2(base, delta);
+                            if g == self.pool.ff() {
+                                continue;
+                            }
+                            let sn = self.vfg.def_node(sv, sl);
+                            let dn = self.vfg.def_node(pl.dst, pl.label);
+                            self.vfg.add_edge(sn, dn, EdgeKind::DataDep, g);
+                        }
+                    }
+                    Sym::Param(j) => {
+                        // Compose into the caller's own summary.
+                        caller_param_loads.push(ParamLoad {
+                            param: j,
+                            dst: pl.dst,
+                            label: pl.label,
+                            guard: base,
+                        });
+                        let _ = caller;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Substitutes a callee-relative symbol into the caller's context.
+    fn subst_sym(&mut self, s: Sym, args: &[VarId], mem: &Mem) -> Vec<(TermId, Option<Sym>)> {
+        match s {
+            Sym::Obj(_) | Sym::Null => vec![(self.pool.tt(), Some(s))],
+            Sym::Param(i) => {
+                let Some(&arg) = args.get(i) else {
+                    return Vec::new();
+                };
+                self.pgtop[arg.index()]
+                    .clone()
+                    .into_iter()
+                    .map(|e| (e.guard, Some(e.value)))
+                    .collect()
+            }
+            Sym::DerefParam(i) => {
+                let Some(&arg) = args.get(i) else {
+                    return Vec::new();
+                };
+                let mut out = Vec::new();
+                for e in self.pgtop[arg.index()].clone() {
+                    match e.value {
+                        Sym::Obj(o) => {
+                            if let Some(cells) = mem.get(&MemKey::Obj(o)) {
+                                for c in cells {
+                                    let g = self.pool.and2(e.guard, c.guard);
+                                    out.push((g, c.value.pointee));
+                                }
+                            }
+                        }
+                        Sym::Param(j) => out.push((e.guard, Some(Sym::DerefParam(j)))),
+                        _ => {}
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Merges `src` memory into `dst` (guarded union).
+fn merge_mem(pool: &mut TermPool, dst: &mut Mem, src: &Mem) {
+    for (k, cells) in src {
+        let d = dst.entry(*k).or_default();
+        for c in cells {
+            insert_guarded(pool, d, c.guard, c.value);
+        }
+    }
+}

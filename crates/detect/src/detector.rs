@@ -1,0 +1,551 @@
+//! The source-sink checkers (§5): use-after-free, double-free,
+//! null-dereference and data-leak, all reduced to guarded reachability
+//! over the interference-aware VFG followed by SMT validation of
+//! `Φ_all = Φ_guards ∧ Φ_po` (Eq. 5).
+
+use std::collections::{BTreeSet, HashSet};
+
+use canary_dataflow::DataflowResult;
+use canary_ir::{Inst, Label, MhpAnalysis, Program, ThreadStructure, VarId};
+use canary_smt::{
+    check_all, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
+};
+use canary_vfg::{NodeId, NodeKind};
+
+use crate::constraints;
+use crate::path::{enumerate_paths, PathLimits, VfPath};
+use crate::report::{BugKind, BugReport};
+use crate::sync::SyncModel;
+
+/// The memory model assumed when generating program-order constraints
+/// (§9 extension: "extension to relaxed memory models such as
+/// TSO/PSO"). Weaker models *drop* ordering constraints, so they can
+/// only add reports — relaxation is conservative for bug finding.
+///
+/// The location check is syntactic (address variables), a documented
+/// approximation: two different pointer variables to the same object
+/// are treated as different locations, erring toward reporting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum MemoryModel {
+    /// Sequential consistency (§3.1, the paper's base model).
+    #[default]
+    Sc,
+    /// Total store order: a store may be reordered after a subsequent
+    /// load to a different location (store buffering).
+    Tso,
+    /// Partial store order: TSO plus store→store reordering to
+    /// different locations.
+    Pso,
+}
+
+/// Options controlling detection.
+#[derive(Clone, Debug)]
+pub struct DetectOptions {
+    /// SMT strategy (§5.2 knobs: prefilter, parallel queries, cubes).
+    pub solver: SolverOptions,
+    /// Path enumeration caps.
+    pub limits: PathLimits,
+    /// Report only witnesses spanning more than one thread (the
+    /// *inter-thread* checkers of Tbl. 1).
+    pub inter_thread_only: bool,
+    /// Plug in the §9 lock/unlock + wait/notify constraints.
+    pub sync_constraints: bool,
+    /// Memory model for program-order constraint generation (§9).
+    pub memory_model: MemoryModel,
+    /// Compute minimized refutation cores for dismissed candidates
+    /// (diagnostics; costs extra solver calls per refuted candidate).
+    pub explain_refutations: bool,
+}
+
+impl Default for DetectOptions {
+    fn default() -> Self {
+        DetectOptions {
+            solver: SolverOptions::default(),
+            limits: PathLimits::default(),
+            inter_thread_only: false,
+            sync_constraints: true,
+            memory_model: MemoryModel::Sc,
+            explain_refutations: false,
+        }
+    }
+}
+
+/// Counters for the evaluation harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DetectStats {
+    /// Candidate source-sink paths enumerated.
+    pub candidate_paths: usize,
+    /// SMT queries issued (after prefiltering at construction).
+    pub queries: usize,
+    /// Reports surviving SMT validation.
+    pub confirmed: usize,
+}
+
+/// Everything the detector reads; built once per program by the
+/// pipeline in `canary-core`.
+#[derive(Debug)]
+pub struct DetectContext<'p> {
+    /// The program under analysis.
+    pub prog: &'p Program,
+    /// Thread membership facts.
+    pub ts: &'p ThreadStructure,
+    /// MHP + program order.
+    pub mhp: &'p MhpAnalysis<'p>,
+    /// Alg. 1 + Alg. 2 output (interference-aware VFG inside).
+    pub df: &'p DataflowResult,
+    /// Synchronization model (§9 extension), if enabled.
+    pub sync: Option<SyncModel>,
+}
+
+impl<'p> DetectContext<'p> {
+    /// Builds a context, scanning synchronization sites when enabled.
+    pub fn new(
+        prog: &'p Program,
+        ts: &'p ThreadStructure,
+        mhp: &'p MhpAnalysis<'p>,
+        df: &'p DataflowResult,
+        opts: &DetectOptions,
+    ) -> Self {
+        let sync = opts
+            .sync_constraints
+            .then(|| SyncModel::build(prog, mhp.order_graph(), df));
+        DetectContext {
+            prog,
+            ts,
+            mhp,
+            df,
+            sync,
+        }
+    }
+
+    fn def_node(&self, v: VarId) -> Option<NodeId> {
+        let l = self.df.def_site[v.index()]?;
+        self.df.vfg.find(NodeKind::Def { var: v, label: l })
+    }
+
+    fn use_node(&self, v: VarId, l: Label) -> Option<NodeId> {
+        self.df.vfg.find(NodeKind::Def { var: v, label: l })
+    }
+}
+
+/// A candidate finding awaiting SMT validation.
+#[derive(Debug)]
+struct Candidate {
+    query: TermId,
+    report: BugReport,
+}
+
+/// A candidate the solver refuted, with a deletion-minimal core of the
+/// constraints that killed it — the "why is this not a bug" diagnosis
+/// dual to the paper's concise bug reports.
+#[derive(Clone, Debug)]
+pub struct RefutedCandidate {
+    /// The property that was being checked.
+    pub kind: BugKind,
+    /// Candidate source statement.
+    pub source: Label,
+    /// Candidate sink statement.
+    pub sink: Label,
+    /// Rendered minimal-core constraints.
+    pub core: Vec<String>,
+}
+
+/// Runs one checker over the program.
+pub fn check_kind(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    kind: BugKind,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> Vec<BugReport> {
+    check_kind_explained(ctx, pool, kind, opts, stats).0
+}
+
+/// Like [`check_kind`], additionally returning a minimized refutation
+/// core for every candidate the solver dismissed.
+pub fn check_kind_explained(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    kind: BugKind,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> (Vec<BugReport>, Vec<RefutedCandidate>) {
+    let candidates = match kind {
+        BugKind::UseAfterFree => uaf_candidates(ctx, pool, opts, stats, false),
+        BugKind::DoubleFree => uaf_candidates(ctx, pool, opts, stats, true),
+        BugKind::NullDeref => flow_candidates(
+            ctx,
+            pool,
+            opts,
+            stats,
+            kind,
+            &null_sources(ctx.prog),
+            &deref_sinks(ctx),
+        ),
+        BugKind::DataLeak => flow_candidates(
+            ctx,
+            pool,
+            opts,
+            stats,
+            kind,
+            &taint_sources(ctx.prog),
+            &sink_nodes(ctx),
+        ),
+    };
+    validate(ctx, pool, candidates, opts, stats)
+}
+
+
+/// Runs every checker.
+pub fn check_all_kinds(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> Vec<BugReport> {
+    let mut out = Vec::new();
+    for kind in [
+        BugKind::UseAfterFree,
+        BugKind::DoubleFree,
+        BugKind::NullDeref,
+        BugKind::DataLeak,
+    ] {
+        out.extend(check_kind(ctx, pool, kind, opts, stats));
+    }
+    out
+}
+
+/// SMT-validates candidates, in parallel when configured (§5.2).
+fn validate(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    candidates: Vec<Candidate>,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> (Vec<BugReport>, Vec<RefutedCandidate>) {
+    stats.queries += candidates.len();
+    let queries: Vec<TermId> = candidates.iter().map(|c| c.query).collect();
+    let solver_stats = SolverStats::default();
+    let results = check_all(pool, &queries, &opts.solver, &solver_stats);
+    let mut seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
+    let mut refuted_seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
+    let mut out = Vec::new();
+    let mut refuted = Vec::new();
+    for (mut cand, res) in candidates.into_iter().zip(results) {
+        if res != SmtResult::Sat {
+            if opts.explain_refutations
+                && refuted_seen.insert((cand.report.kind, cand.report.source, cand.report.sink))
+            {
+                let core: Vec<String> = if cand.query == pool.ff() {
+                    vec![
+                        "constraints fold to false at construction (complementary \
+                         branch guards or order atoms)"
+                            .to_string(),
+                    ]
+                } else {
+                    canary_smt::minimal_core(pool, cand.query, &opts.solver, &solver_stats)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .map(|c| pool.render(c))
+                        .collect()
+                };
+                refuted.push(RefutedCandidate {
+                    kind: cand.report.kind,
+                    source: cand.report.source,
+                    sink: cand.report.sink,
+                    core,
+                });
+            }
+            continue;
+        }
+        if !seen.insert((cand.report.kind, cand.report.source, cand.report.sink)) {
+            continue;
+        }
+        // Extract one concrete interleaving for the report (§2): a
+        // topological order of the model's order atoms.
+        cand.report.schedule = canary_smt::check_witness(pool, cand.query, &solver_stats)
+            .unwrap_or_default()
+            .into_iter()
+            .map(Label)
+            .collect();
+        out.push(cand.report);
+    }
+    let _ = ctx;
+    stats.confirmed += out.len();
+    out.sort_by_key(|r| (r.source, r.sink));
+    refuted.sort_by_key(|r| (r.source, r.sink));
+    (out, refuted)
+}
+
+/// Dereference sinks: `use v` statements, as their VFG use nodes.
+fn deref_sinks(ctx: &DetectContext<'_>) -> Vec<(NodeId, Label)> {
+    ctx.prog
+        .labels()
+        .filter_map(|l| match ctx.prog.inst(l) {
+            Inst::Deref { ptr } => ctx.use_node(*ptr, l).map(|n| (n, l)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Leak sinks: `sink v` statements.
+fn sink_nodes(ctx: &DetectContext<'_>) -> Vec<(NodeId, Label)> {
+    ctx.prog
+        .labels()
+        .filter_map(|l| match ctx.prog.inst(l) {
+            Inst::TaintSink { src } => ctx.use_node(*src, l).map(|n| (n, l)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn null_sources(prog: &Program) -> Vec<(VarId, Label)> {
+    prog.labels()
+        .filter_map(|l| match prog.inst(l) {
+            Inst::AssignNull { dst } => Some((*dst, l)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn taint_sources(prog: &Program) -> Vec<(VarId, Label)> {
+    prog.labels()
+        .filter_map(|l| match prog.inst(l) {
+            Inst::TaintSource { dst } => Some((*dst, l)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Use-after-free / double-free candidates. The freed *objects* anchor
+/// the search (every alias of a freed object is dangerous), following
+/// the guarded flows out of the object node.
+fn uaf_candidates(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+    double_free: bool,
+) -> Vec<Candidate> {
+    let mut sinks: Vec<(NodeId, Label)> = if double_free {
+        ctx.prog
+            .labels()
+            .filter_map(|l| match ctx.prog.inst(l) {
+                Inst::Free { ptr } => ctx.use_node(*ptr, l).map(|n| (n, l)),
+                _ => None,
+            })
+            .collect()
+    } else {
+        deref_sinks(ctx)
+    };
+    sinks.sort_unstable();
+    let sink_set: HashSet<NodeId> = sinks.iter().map(|&(n, _)| n).collect();
+    let mut out = Vec::new();
+    for free_label in ctx.prog.free_sites() {
+        let Inst::Free { ptr } = ctx.prog.inst(free_label) else {
+            continue;
+        };
+        let Some(pn) = ctx.def_node(*ptr) else { continue };
+        let free_guard = ctx.df.path_conds.guard(free_label);
+        // Objects the freed pointer may reference.
+        for obj in ctx.df.vfg.objects_reaching(pn) {
+            let Some(on) = ctx
+                .df
+                .vfg
+                .node_ids()
+                .find(|&n| matches!(ctx.df.vfg.kind(n), NodeKind::Object { obj: o, .. } if o == obj))
+            else {
+                continue;
+            };
+            for p in enumerate_paths(&ctx.df.vfg, on, &sink_set, opts.limits) {
+                stats.candidate_paths += 1;
+                let sink_node = *p.nodes.last().expect("paths are nonempty");
+                let Some(&(_, sink_label)) =
+                    sinks.iter().find(|&&(n, _)| n == sink_node)
+                else {
+                    continue;
+                };
+                if sink_label == free_label {
+                    continue;
+                }
+                if double_free && sink_label < free_label {
+                    // Report each unordered pair once.
+                    continue;
+                }
+                let kind = if double_free {
+                    BugKind::DoubleFree
+                } else {
+                    BugKind::UseAfterFree
+                };
+                let mut extra = vec![free_guard];
+                if !double_free {
+                    // The use must be *after* the free.
+                    extra.push(pool.order_lt(free_label.0, sink_label.0));
+                }
+                if let Some(c) =
+                    finish_candidate(ctx, pool, opts, kind, free_label, sink_label, &p, &extra)
+                {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Generic value-flow candidates from variable-def sources to sinks
+/// (null-dereference, data-leak).
+#[allow(clippy::too_many_arguments)]
+fn flow_candidates(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+    kind: BugKind,
+    sources: &[(VarId, Label)],
+    sinks: &[(NodeId, Label)],
+) -> Vec<Candidate> {
+    let sink_set: HashSet<NodeId> = sinks.iter().map(|&(n, _)| n).collect();
+    let mut out = Vec::new();
+    for &(src_var, src_label) in sources {
+        let Some(sn) = ctx
+            .df
+            .vfg
+            .find(NodeKind::Def {
+                var: src_var,
+                label: src_label,
+            })
+        else {
+            continue;
+        };
+        let src_guard = ctx.df.path_conds.guard(src_label);
+        for p in enumerate_paths(&ctx.df.vfg, sn, &sink_set, opts.limits) {
+            stats.candidate_paths += 1;
+            let sink_node = *p.nodes.last().expect("paths are nonempty");
+            let Some(&(_, sink_label)) = sinks.iter().find(|&&(n, _)| n == sink_node) else {
+                continue;
+            };
+            let extra = vec![src_guard];
+            if let Some(c) =
+                finish_candidate(ctx, pool, opts, kind, src_label, sink_label, &p, &extra)
+            {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Assembles `Φ_all` for a path and wraps it in a report candidate;
+/// `None` when the constraint folds to false at construction (the
+/// prefilter of §5.2).
+#[allow(clippy::too_many_arguments)]
+fn finish_candidate(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    kind: BugKind,
+    source: Label,
+    sink: Label,
+    p: &VfPath,
+    extra: &[TermId],
+) -> Option<Candidate> {
+    let path_labels: Vec<Label> = p
+        .nodes
+        .iter()
+        .map(|&n| ctx.df.vfg.kind(n).label())
+        .collect();
+    let inter_thread = p.has_interference
+        || ctx
+            .ts
+            .may_be_in_distinct_threads(ctx.prog, source, sink);
+    if opts.inter_thread_only && !inter_thread {
+        return None;
+    }
+    let mut all_labels = path_labels.clone();
+    all_labels.push(source);
+    all_labels.push(sink);
+    // The sink executes only under its own path condition. Usually the
+    // last path edge already carries it, but when the sink coincides
+    // with a parameter's anchor node (a sink as its function's first
+    // statement) that edge does not exist — conjoin it explicitly.
+    let mut extra = extra.to_vec();
+    extra.push(ctx.df.path_conds.guard(sink));
+    let extra = &extra[..];
+    let keep = order_policy(ctx.prog, opts.memory_model);
+    let mut query = constraints::assemble_with(
+        pool,
+        ctx.mhp.order_graph(),
+        &p.guards,
+        &all_labels,
+        extra,
+        &keep,
+    );
+    if let Some(sync) = &ctx.sync {
+        let mut events: BTreeSet<Label> = all_labels.iter().copied().collect();
+        events.extend(constraints::events_of(pool, query));
+        let sc = sync.constraints(pool, ctx.prog, ctx.ts, ctx.mhp.order_graph(), &mut events);
+        if sc != pool.tt() {
+            // Re-ground the enlarged event set.
+            let po = constraints::partial_order_constraints_with(
+                pool,
+                ctx.mhp.order_graph(),
+                &events,
+                &keep,
+            );
+            query = pool.and([query, sc, po]);
+        }
+    }
+    if query == pool.ff() && !opts.explain_refutations {
+        // Folded away by the construction-time prefilter (§5.2 opt. 1);
+        // kept only when the caller asked for refutation diagnostics.
+        return None;
+    }
+    let path_rendered = p
+        .nodes
+        .iter()
+        .map(|&n| ctx.df.vfg.render_node(ctx.prog, n))
+        .collect();
+    Some(Candidate {
+        query,
+        report: BugReport {
+            kind,
+            source,
+            sink,
+            path: path_rendered,
+            inter_thread,
+            constraint: pool.render(query),
+            schedule: Vec::new(),
+        },
+    })
+}
+
+/// The program-order retention policy for a memory model: which
+/// `a <P b` pairs the model still enforces. Only same-function pairs
+/// are ever relaxed — cross-function order comes from calls and
+/// fork/join synchronization, which every model preserves.
+fn order_policy(
+    prog: &Program,
+    model: MemoryModel,
+) -> impl Fn(Label, Label) -> bool + '_ {
+    move |a: Label, b: Label| -> bool {
+        if model == MemoryModel::Sc {
+            return true;
+        }
+        if prog.func_of(a) != prog.func_of(b) {
+            return true;
+        }
+        let (ia, ib) = (prog.inst(a), prog.inst(b));
+        let (addr_a, addr_b) = match (ia, ib) {
+            (Inst::Store { addr: x, .. }, Inst::Load { addr: y, .. }) => (*x, *y),
+            (Inst::Store { addr: x, .. }, Inst::Store { addr: y, .. })
+                if model == MemoryModel::Pso =>
+            {
+                (*x, *y)
+            }
+            _ => return true,
+        };
+        // Same (syntactic) location keeps its order under TSO and PSO.
+        addr_a == addr_b
+    }
+}

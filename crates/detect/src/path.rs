@@ -1,0 +1,218 @@
+//! Bounded source→sink path enumeration over the guarded VFG (Eq. 3).
+//!
+//! A value-flow path is a simple node sequence following direct, data-
+//! dependence and interference edges. Enumeration is a depth-first walk
+//! with per-query caps on path length and count — the search is
+//! *on-demand*: it only ever touches the part of the graph reachable
+//! from the sources of the property under check, which is the heart of
+//! Canary's state-space reduction.
+
+use std::collections::HashSet;
+
+use canary_smt::TermId;
+use canary_vfg::{EdgeKind, NodeId, Vfg};
+
+/// One enumerated path: the node sequence and its edge facts.
+#[derive(Clone, Debug)]
+pub struct VfPath {
+    /// Nodes from source to sink, inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Guards of the traversed edges, in order.
+    pub guards: Vec<TermId>,
+    /// Whether any traversed edge is an interference edge.
+    pub has_interference: bool,
+}
+
+/// Caps bounding one path query.
+#[derive(Clone, Copy, Debug)]
+pub struct PathLimits {
+    /// Maximum nodes on a path.
+    pub max_len: usize,
+    /// Maximum number of paths returned per (source, sink-set) query.
+    pub max_paths: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits {
+            max_len: 64,
+            max_paths: 128,
+        }
+    }
+}
+
+/// Enumerates simple paths from `source` to any node in `sinks`.
+pub fn enumerate_paths(
+    vfg: &Vfg,
+    source: NodeId,
+    sinks: &HashSet<NodeId>,
+    limits: PathLimits,
+) -> Vec<VfPath> {
+    let mut out = Vec::new();
+    let mut nodes = vec![source];
+    let mut guards: Vec<TermId> = Vec::new();
+    let mut kinds: Vec<EdgeKind> = Vec::new();
+    let mut on_path: HashSet<NodeId> = HashSet::new();
+    on_path.insert(source);
+    dfs(
+        vfg, source, sinks, &limits, &mut nodes, &mut guards, &mut kinds, &mut on_path, &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    vfg: &Vfg,
+    cur: NodeId,
+    sinks: &HashSet<NodeId>,
+    limits: &PathLimits,
+    nodes: &mut Vec<NodeId>,
+    guards: &mut Vec<TermId>,
+    kinds: &mut Vec<EdgeKind>,
+    on_path: &mut HashSet<NodeId>,
+    out: &mut Vec<VfPath>,
+) {
+    if out.len() >= limits.max_paths {
+        return;
+    }
+    if sinks.contains(&cur) && nodes.len() > 1 {
+        out.push(VfPath {
+            nodes: nodes.clone(),
+            guards: guards.clone(),
+            has_interference: kinds.contains(&EdgeKind::Interference),
+        });
+        // A sink can also be an intermediate node; keep exploring.
+    }
+    if nodes.len() >= limits.max_len {
+        return;
+    }
+    for e in vfg.out_edges(cur) {
+        if on_path.contains(&e.to) {
+            continue;
+        }
+        nodes.push(e.to);
+        guards.push(e.guard);
+        kinds.push(e.kind);
+        on_path.insert(e.to);
+        dfs(vfg, e.to, sinks, limits, nodes, guards, kinds, on_path, out);
+        on_path.remove(&e.to);
+        kinds.pop();
+        guards.pop();
+        nodes.pop();
+        if out.len() >= limits.max_paths {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_ir::{Label, VarId};
+    use canary_smt::TermPool;
+    use canary_vfg::NodeKind;
+
+    fn def(v: u32, l: u32) -> NodeKind {
+        NodeKind::Def {
+            var: VarId::new(v),
+            label: Label::new(l),
+        }
+    }
+
+    #[test]
+    fn single_edge_path() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+        let sinks: HashSet<NodeId> = [b].into_iter().collect();
+        let paths = enumerate_paths(&g, a, &sinks, PathLimits::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, vec![a, b]);
+        assert!(!paths[0].has_interference);
+    }
+
+    #[test]
+    fn diamond_yields_two_paths() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let c = g.node(def(2, 2));
+        let d = g.node(def(3, 3));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+        g.add_edge(a, c, EdgeKind::Direct, pool.tt());
+        g.add_edge(b, d, EdgeKind::DataDep, pool.tt());
+        g.add_edge(c, d, EdgeKind::Interference, pool.tt());
+        let sinks: HashSet<NodeId> = [d].into_iter().collect();
+        let mut paths = enumerate_paths(&g, a, &sinks, PathLimits::default());
+        paths.sort_by_key(|p| p.nodes.clone());
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().any(|p| p.has_interference));
+        assert!(paths.iter().any(|p| !p.has_interference));
+    }
+
+    #[test]
+    fn cycles_do_not_loop_forever() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let c = g.node(def(2, 2));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+        g.add_edge(b, a, EdgeKind::Direct, pool.tt());
+        g.add_edge(b, c, EdgeKind::Direct, pool.tt());
+        let sinks: HashSet<NodeId> = [c].into_iter().collect();
+        let paths = enumerate_paths(&g, a, &sinks, PathLimits::default());
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn max_paths_cap_respected() {
+        // A ladder graph with exponentially many paths.
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let mut layer = vec![g.node(def(0, 0))];
+        let mut next_id = 1;
+        for _ in 0..10 {
+            let mut next_layer = Vec::new();
+            for _ in 0..2 {
+                let n = g.node(def(next_id, next_id));
+                next_id += 1;
+                for &p in &layer {
+                    g.add_edge(p, n, EdgeKind::Direct, pool.tt());
+                }
+                next_layer.push(n);
+            }
+            layer = next_layer;
+        }
+        let end = g.node(def(next_id, next_id));
+        for &p in &layer {
+            g.add_edge(p, end, EdgeKind::Direct, pool.tt());
+        }
+        let sinks: HashSet<NodeId> = [end].into_iter().collect();
+        let limits = PathLimits {
+            max_len: 64,
+            max_paths: 16,
+        };
+        let start = NodeId(0);
+        let paths = enumerate_paths(&g, start, &sinks, limits);
+        assert_eq!(paths.len(), 16);
+    }
+
+    #[test]
+    fn sink_as_intermediate_node_is_reported_once_per_visit() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let c = g.node(def(2, 2));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+        g.add_edge(b, c, EdgeKind::Direct, pool.tt());
+        let sinks: HashSet<NodeId> = [b, c].into_iter().collect();
+        let paths = enumerate_paths(&g, a, &sinks, PathLimits::default());
+        // a→b and a→b→c.
+        assert_eq!(paths.len(), 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Bug reports.
+//!
+//! A Canary report is deliberately small (§1: "concise bug reports with
+//! a limited number of relevant statements and conditions"): the
+//! source, the sink, the value-flow path between them, and the
+//! constraint whose satisfiability witnessed the interleaving.
+
+use std::fmt;
+
+use canary_ir::{Label, Program};
+
+/// The property class of a finding.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BugKind {
+    /// A freed value is dereferenced later (possibly in another thread).
+    UseAfterFree,
+    /// The same value is freed twice.
+    DoubleFree,
+    /// A null value is dereferenced.
+    NullDeref,
+    /// Tainted data reaches a public sink.
+    DataLeak,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BugKind::UseAfterFree => "use-after-free",
+            BugKind::DoubleFree => "double-free",
+            BugKind::NullDeref => "null-dereference",
+            BugKind::DataLeak => "data-leak",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One confirmed (SMT-satisfiable) source-sink finding.
+#[derive(Clone, Debug)]
+pub struct BugReport {
+    /// The property violated.
+    pub kind: BugKind,
+    /// The source statement (free / null assignment / taint source).
+    pub source: Label,
+    /// The sink statement (dereference / second free / leak sink).
+    pub sink: Label,
+    /// The value-flow path, rendered as `v@ℓ` node names.
+    pub path: Vec<String>,
+    /// Whether the witness spans more than one thread.
+    pub inter_thread: bool,
+    /// Human-readable rendering of the aggregated constraint.
+    pub constraint: String,
+    /// A concrete witness interleaving: the constrained events in one
+    /// sequentially consistent execution order satisfying `Φ_all`
+    /// (extracted from the SMT model; §2's debugging aid).
+    pub schedule: Vec<Label>,
+}
+
+impl BugReport {
+    /// Renders the report against the program for display.
+    pub fn render(&self, prog: &Program) -> String {
+        let src_fn = prog.func(prog.func_of(self.source)).name.clone();
+        let sink_fn = prog.func(prog.func_of(self.sink)).name.clone();
+        let scope = if self.inter_thread {
+            "inter-thread"
+        } else {
+            "intra-thread"
+        };
+        let schedule = if self.schedule.is_empty() {
+            String::new()
+        } else {
+            let steps: Vec<String> = self
+                .schedule
+                .iter()
+                .map(|&l| format!("{l}:{}", canary_ir::render_inst(prog, l)))
+                .collect();
+            format!("\n  witness schedule: {}", steps.join("  |  "))
+        };
+        format!(
+            "[{}] {} {}: {} in `{}` reaches {} in `{}`\n  path: {}\n  constraint: {}{}",
+            scope,
+            self.kind,
+            if self.inter_thread { "(concurrent)" } else { "" },
+            canary_ir::render_inst(prog, self.source),
+            src_fn,
+            canary_ir::render_inst(prog, self.sink),
+            sink_fn,
+            self.path.join(" -> "),
+            self.constraint,
+            schedule,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(BugKind::UseAfterFree.to_string(), "use-after-free");
+        assert_eq!(BugKind::DoubleFree.to_string(), "double-free");
+        assert_eq!(BugKind::NullDeref.to_string(), "null-dereference");
+        assert_eq!(BugKind::DataLeak.to_string(), "data-leak");
+    }
+
+    #[test]
+    fn render_contains_path_and_kind() {
+        let prog = canary_ir::parse("fn main() { p = alloc o; free p; use p; }").unwrap();
+        let report = BugReport {
+            kind: BugKind::UseAfterFree,
+            source: prog.free_sites()[0],
+            sink: prog.deref_sites()[0],
+            path: vec!["p@l0".into(), "p@l1".into()],
+            inter_thread: false,
+            constraint: "true".into(),
+            schedule: vec![prog.free_sites()[0], prog.deref_sites()[0]],
+        };
+        let text = report.render(&prog);
+        assert!(text.contains("use-after-free"));
+        assert!(text.contains("p@l0 -> p@l1"));
+        assert!(text.contains("free p"));
+    }
+}

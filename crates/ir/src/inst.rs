@@ -1,0 +1,459 @@
+//! The statement forms of the call-by-value language of Fig. 3, in
+//! partial SSA form, plus the source/sink intrinsics the checkers of §5
+//! consume (`free`, pointer uses, taint sources and sinks) and the
+//! synchronization intrinsics of the §9 extension (lock/unlock,
+//! wait/notify).
+//!
+//! Control flow (`if`/`else`, sequencing) is represented at the CFG level
+//! by [`Terminator`]s rather than by statement forms.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{BlockId, CondId, FuncId, ObjId, VarId};
+
+/// A binary operator (`binop` in Fig. 3).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition `+`.
+    Add,
+    /// Subtraction `-`.
+    Sub,
+    /// Logical/bitwise and `∧`.
+    And,
+    /// Logical/bitwise or `∨`.
+    Or,
+    /// Greater-than `>`.
+    Gt,
+    /// Equality `=`.
+    Eq,
+    /// Disequality `≠`.
+    Ne,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Gt => ">",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A unary operator (`unop` in Fig. 3).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation `-`.
+    Neg,
+    /// Logical negation `¬`.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        })
+    }
+}
+
+/// The callee of a call or fork site.
+///
+/// Practical programs make fork calls through function pointers (§6);
+/// indirect callees are resolved by the Steensgaard-based thread
+/// call-graph construction in [`crate::callgraph`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Callee {
+    /// A direct call to a named function.
+    Direct(FuncId),
+    /// An indirect call through a top-level function-pointer variable.
+    Indirect(VarId),
+}
+
+/// A literal branch condition: an opaque atom `θ` or its negation, or a
+/// constant.
+///
+/// The paper keeps path conditions symbolic; correlating occurrences of
+/// the *same* atom across threads (`θ1` at ℓ6 versus `¬θ1` at ℓ13 in
+/// Fig. 2) is what lets the SMT stage refute infeasible value flows.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CondExpr {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A condition atom, negated when the flag is `true`.
+    Atom {
+        /// The condition atom tested by the branch.
+        cond: CondId,
+        /// Whether the atom appears negated (`¬θ`).
+        negated: bool,
+    },
+}
+
+impl CondExpr {
+    /// The positive occurrence of `cond`.
+    pub const fn atom(cond: CondId) -> Self {
+        CondExpr::Atom {
+            cond,
+            negated: false,
+        }
+    }
+
+    /// The negated occurrence of `cond`.
+    pub const fn not_atom(cond: CondId) -> Self {
+        CondExpr::Atom {
+            cond,
+            negated: true,
+        }
+    }
+
+    /// Logical negation of this condition.
+    #[must_use]
+    pub fn negate(self) -> Self {
+        match self {
+            CondExpr::True => CondExpr::False,
+            CondExpr::False => CondExpr::True,
+            CondExpr::Atom { cond, negated } => CondExpr::Atom {
+                cond,
+                negated: !negated,
+            },
+        }
+    }
+}
+
+impl fmt::Display for CondExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondExpr::True => f.write_str("true"),
+            CondExpr::False => f.write_str("false"),
+            CondExpr::Atom { cond, negated } => {
+                if *negated {
+                    write!(f, "!{cond}")
+                } else {
+                    write!(f, "{cond}")
+                }
+            }
+        }
+    }
+}
+
+/// A statement of the language (Fig. 3), extended with the intrinsics the
+/// checkers rely on.
+///
+/// Pointer operations follow the four LLVM partial-SSA forms the paper
+/// singles out: address-of/allocation, copy, load and store. Nested
+/// dereferences are assumed to have been flattened with auxiliary
+/// variables so each load/store is at most one shared access (§3.1).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Inst {
+    /// `p = alloc_o` — `p` points to the fresh abstract object `o`
+    /// (covers both `malloc` and `&x` address-taken locals).
+    Alloc {
+        /// Destination pointer.
+        dst: VarId,
+        /// The abstract object allocated at this site.
+        obj: ObjId,
+    },
+    /// `p = &f` — take the address of a function, producing a function
+    /// pointer; resolved by the Steensgaard analysis of §6 when used as a
+    /// fork or call target.
+    FuncAddr {
+        /// Destination function-pointer variable.
+        dst: VarId,
+        /// The named function.
+        func: FuncId,
+    },
+    /// `p = q` — direct copy between top-level variables.
+    Copy {
+        /// Destination.
+        dst: VarId,
+        /// Source.
+        src: VarId,
+    },
+    /// `p = *y` — load through pointer `y`.
+    Load {
+        /// Destination top-level variable.
+        dst: VarId,
+        /// Address operand.
+        addr: VarId,
+    },
+    /// `*x = q` — store `q` through pointer `x`.
+    Store {
+        /// Address operand.
+        addr: VarId,
+        /// Stored value.
+        src: VarId,
+    },
+    /// `p = q binop r`.
+    Bin {
+        /// Destination.
+        dst: VarId,
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: VarId,
+        /// Right operand.
+        rhs: VarId,
+    },
+    /// `p = unop q`.
+    Un {
+        /// Destination.
+        dst: VarId,
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        src: VarId,
+    },
+    /// `(x0, …, xn) = call f(v1, …, vn)`.
+    Call {
+        /// Return-value destinations (possibly empty).
+        dsts: Vec<VarId>,
+        /// The callee, direct or through a function pointer.
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<VarId>,
+    },
+    /// `fork(t, f, arg…)` — create thread `t` running `f(arg…)`.
+    Fork {
+        /// The static thread created at this fork site.
+        thread: crate::ids::ThreadId,
+        /// The thread entry function (possibly a function pointer).
+        entry: Callee,
+        /// Arguments passed to the entry function.
+        args: Vec<VarId>,
+    },
+    /// `join(t)` — wait for thread `t` to finish.
+    Join {
+        /// The joined thread.
+        thread: crate::ids::ThreadId,
+    },
+    /// `free(p)` — deallocate the object `p` points to. A *source* for
+    /// the use-after-free and double-free checkers.
+    Free {
+        /// Freed pointer.
+        ptr: VarId,
+    },
+    /// `use(*p)` / `print(*p)` — dereference `p`. A *sink* for the
+    /// use-after-free and null-dereference checkers.
+    Deref {
+        /// Dereferenced pointer.
+        ptr: VarId,
+    },
+    /// `p = null` — a *source* for the null-dereference checker.
+    AssignNull {
+        /// Destination.
+        dst: VarId,
+    },
+    /// `p = taint_source()` — a *source* for the information-leak checker
+    /// (e.g. secret data read into memory, cf. DTAM-style leaks §1).
+    TaintSource {
+        /// Destination holding the tainted value.
+        dst: VarId,
+    },
+    /// `leak_sink(p)` — a *sink* for the information-leak checker
+    /// (e.g. data written to a public channel).
+    TaintSink {
+        /// Leaked value.
+        src: VarId,
+    },
+    /// `lock(m)` — acquire mutex object pointed to by `m` (§9 extension).
+    Lock {
+        /// Mutex operand.
+        mutex: VarId,
+    },
+    /// `unlock(m)` — release mutex (§9 extension).
+    Unlock {
+        /// Mutex operand.
+        mutex: VarId,
+    },
+    /// `wait(cv)` — block on condition variable (§9 extension).
+    Wait {
+        /// Condition-variable operand.
+        cv: VarId,
+    },
+    /// `notify(cv)` — signal condition variable (§9 extension).
+    Notify {
+        /// Condition-variable operand.
+        cv: VarId,
+    },
+    /// `return (x0, …, xn)`.
+    Return {
+        /// Returned values (possibly empty).
+        vals: Vec<VarId>,
+    },
+    /// A no-op; used by transforms that must preserve label positions.
+    Nop,
+}
+
+impl Inst {
+    /// The top-level variable defined by this statement, if any.
+    pub fn def(&self) -> Option<VarId> {
+        match self {
+            Inst::Alloc { dst, .. }
+            | Inst::Copy { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::AssignNull { dst }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::TaintSource { dst } => Some(*dst),
+            Inst::Call { dsts, .. } => dsts.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// All top-level variables used (read) by this statement.
+    pub fn uses(&self) -> Vec<VarId> {
+        match self {
+            Inst::Alloc { .. }
+            | Inst::AssignNull { .. }
+            | Inst::FuncAddr { .. }
+            | Inst::TaintSource { .. }
+            | Inst::Nop => Vec::new(),
+            Inst::Copy { src, .. } | Inst::Un { src, .. } => vec![*src],
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { addr, src } => vec![*addr, *src],
+            Inst::Bin { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Call { callee, args, .. } => {
+                let mut v = args.clone();
+                if let Callee::Indirect(fp) = callee {
+                    v.push(*fp);
+                }
+                v
+            }
+            Inst::Fork { entry, args, .. } => {
+                let mut v = args.clone();
+                if let Callee::Indirect(fp) = entry {
+                    v.push(*fp);
+                }
+                v
+            }
+            Inst::Join { .. } => Vec::new(),
+            Inst::Free { ptr } | Inst::Deref { ptr } => vec![*ptr],
+            Inst::TaintSink { src } => vec![*src],
+            Inst::Lock { mutex } | Inst::Unlock { mutex } => vec![*mutex],
+            Inst::Wait { cv } | Inst::Notify { cv } => vec![*cv],
+            Inst::Return { vals } => vals.clone(),
+        }
+    }
+
+    /// Whether this statement is a store to shared memory.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Whether this statement is a load from shared memory.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+}
+
+/// A basic-block terminator.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on a condition literal.
+    Branch {
+        /// The condition tested.
+        cond: CondExpr,
+        /// Successor taken when the condition holds.
+        then_blk: BlockId,
+        /// Successor taken when it does not.
+        else_blk: BlockId,
+    },
+    /// Function exit. The returned values are carried by a preceding
+    /// [`Inst::Return`] when present.
+    Exit,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::Branch {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+            Terminator::Exit => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_negation_involutive() {
+        let c = CondExpr::atom(CondId::new(1));
+        assert_eq!(c.negate().negate(), c);
+        assert_eq!(CondExpr::True.negate(), CondExpr::False);
+        assert_eq!(CondExpr::False.negate(), CondExpr::True);
+    }
+
+    #[test]
+    fn cond_display() {
+        assert_eq!(CondExpr::atom(CondId::new(2)).to_string(), "c2");
+        assert_eq!(CondExpr::not_atom(CondId::new(2)).to_string(), "!c2");
+        assert_eq!(CondExpr::True.to_string(), "true");
+    }
+
+    #[test]
+    fn def_use_of_pointer_ops() {
+        let store = Inst::Store {
+            addr: VarId::new(0),
+            src: VarId::new(1),
+        };
+        assert_eq!(store.def(), None);
+        assert_eq!(store.uses(), vec![VarId::new(0), VarId::new(1)]);
+        assert!(store.is_store());
+        assert!(!store.is_load());
+
+        let load = Inst::Load {
+            dst: VarId::new(2),
+            addr: VarId::new(3),
+        };
+        assert_eq!(load.def(), Some(VarId::new(2)));
+        assert_eq!(load.uses(), vec![VarId::new(3)]);
+        assert!(load.is_load());
+    }
+
+    #[test]
+    fn indirect_callee_counts_as_use() {
+        let call = Inst::Call {
+            dsts: vec![],
+            callee: Callee::Indirect(VarId::new(9)),
+            args: vec![VarId::new(1)],
+        };
+        assert!(call.uses().contains(&VarId::new(9)));
+        assert!(call.uses().contains(&VarId::new(1)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: CondExpr::True,
+            then_blk: BlockId::new(1),
+            else_blk: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert!(Terminator::Exit.successors().is_empty());
+    }
+
+    #[test]
+    fn operator_display() {
+        assert_eq!(BinOp::Add.to_string(), "+");
+        assert_eq!(BinOp::Ne.to_string(), "!=");
+        assert_eq!(UnOp::Not.to_string(), "!");
+    }
+}

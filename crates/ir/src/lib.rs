@@ -1,0 +1,61 @@
+//! # canary-ir
+//!
+//! The bounded concurrent-program intermediate representation underlying
+//! the Canary reproduction (PLDI 2021, "Canary: Practical Static
+//! Detection of Inter-thread Value-Flow Bugs").
+//!
+//! This crate provides:
+//!
+//! * the partial-SSA language of Fig. 3 ([`Inst`], [`Function`],
+//!   [`Program`]) over the abstract domains of Fig. 4 ([`VarId`],
+//!   [`ObjId`], [`Label`], [`ThreadId`]);
+//! * a textual front end ([`parse`]) and a programmatic
+//!   [`ProgramBuilder`], both of which produce *bounded* programs —
+//!   loops unrolled, CFGs acyclic (§3.1);
+//! * the thread call graph with Steensgaard-style function-pointer
+//!   resolution ([`callgraph`], §6);
+//! * thread structure and membership ([`threads`]);
+//! * the interprocedural statement order graph ([`order`]) used both for
+//!   may-happen-in-parallel pruning ([`mhp`], §6) and for the partial
+//!   order constraints `Φ_po` of §5.1.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = canary_ir::parse(
+//!     "fn main() { p = alloc o; fork t w(p); free p; join t; }
+//!      fn w(q) { use q; }",
+//! )?;
+//! prog.validate()?;
+//! assert_eq!(prog.threads.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod callgraph;
+pub mod clone;
+pub mod func;
+pub mod ids;
+pub mod inst;
+pub mod mhp;
+pub mod order;
+pub mod parser;
+pub mod printer;
+pub mod program;
+pub mod threads;
+
+pub use builder::{FuncBody, ProgramBuilder};
+pub use callgraph::{CallGraph, Steensgaard};
+pub use clone::{clone_contexts, CloneOptions};
+pub use func::{BasicBlock, Function};
+pub use ids::{BlockId, CondId, FuncId, Label, ObjId, ThreadId, VarId, MAIN_THREAD};
+pub use inst::{BinOp, Callee, CondExpr, Inst, Terminator, UnOp};
+pub use mhp::MhpAnalysis;
+pub use order::OrderGraph;
+pub use parser::{parse, parse_with, ParseError, ParseOptions};
+pub use printer::{print_program, render_inst};
+pub use program::{ObjInfo, Program, Stmt, ThreadInfo, ValidationError, VarInfo};
+pub use threads::ThreadStructure;

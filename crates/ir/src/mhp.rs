@@ -1,0 +1,136 @@
+//! May-happen-in-parallel analysis (§6, "Performance").
+//!
+//! The paper prunes interference candidates with an MHP analysis: a load
+//! and a store that can never execute concurrently cannot share an
+//! interference dependence (Defn. 1). We decide MHP from two ingredients
+//! already computed for the rest of the pipeline:
+//!
+//! * thread membership ([`ThreadStructure`]) — the pair must be able to
+//!   run in *distinct* threads;
+//! * the interprocedural happens-before of [`OrderGraph`] — fork/join
+//!   synchronization orders a parent's prefix before the child and the
+//!   child before the parent's post-join suffix; any such order excludes
+//!   parallelism.
+
+use crate::callgraph::CallGraph;
+use crate::ids::Label;
+use crate::order::OrderGraph;
+use crate::program::Program;
+use crate::threads::ThreadStructure;
+
+/// Decides may-happen-in-parallel queries over a bounded program.
+#[derive(Debug)]
+pub struct MhpAnalysis<'p> {
+    prog: &'p Program,
+    ts: &'p ThreadStructure,
+    og: OrderGraph<'p>,
+}
+
+impl<'p> MhpAnalysis<'p> {
+    /// Builds the analysis from the shared program facts.
+    pub fn new(prog: &'p Program, cg: &'p CallGraph, ts: &'p ThreadStructure) -> Self {
+        MhpAnalysis {
+            prog,
+            ts,
+            og: OrderGraph::build(prog, cg),
+        }
+    }
+
+    /// Access to the underlying order graph (shared with `Φ_po`
+    /// generation so both use one definition of program order).
+    pub fn order_graph(&self) -> &OrderGraph<'p> {
+        &self.og
+    }
+
+    /// Whether the statements at `l1` and `l2` may execute concurrently
+    /// in distinct threads.
+    pub fn may_happen_in_parallel(&self, l1: Label, l2: Label) -> bool {
+        if !self.ts.may_be_in_distinct_threads(self.prog, l1, l2) {
+            return false;
+        }
+        !self.og.happens_before(l1, l2) && !self.og.happens_before(l2, l1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn setup(src: &str) -> (Program, CallGraph, ThreadStructure) {
+        let prog = parse(src).unwrap();
+        prog.validate().unwrap();
+        let cg = CallGraph::build(&prog);
+        let ts = ThreadStructure::compute(&prog, &cg);
+        (prog, cg, ts)
+    }
+
+    #[test]
+    fn parallel_window_between_fork_and_join() {
+        let (prog, cg, ts) = setup(
+            "fn main() { p = alloc o; fork t w(p); free p; join t; use p; }
+             fn w(x) { x2 = x; }",
+        );
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let free = prog.free_sites()[0]; // between fork and join
+        let deref = prog.deref_sites()[0]; // after join
+        let child = prog
+            .labels()
+            .find(|&l| matches!(prog.inst(l), crate::inst::Inst::Copy { .. }))
+            .unwrap();
+        assert!(mhp.may_happen_in_parallel(free, child));
+        assert!(!mhp.may_happen_in_parallel(deref, child));
+        // Same-thread statements never count as parallel.
+        assert!(!mhp.may_happen_in_parallel(free, deref));
+    }
+
+    #[test]
+    fn statements_before_fork_not_parallel_with_child() {
+        let (prog, cg, ts) = setup(
+            "fn main() { p = alloc o; free p; fork t w(p); }
+             fn w(x) { use x; }",
+        );
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let free = prog.free_sites()[0];
+        let deref = prog.deref_sites()[0];
+        assert!(!mhp.may_happen_in_parallel(free, deref));
+    }
+
+    #[test]
+    fn sibling_threads_are_parallel() {
+        let (prog, cg, ts) = setup(
+            "fn main() { p = alloc o; fork t1 w1(p); fork t2 w2(p); }
+             fn w1(x) { free x; }
+             fn w2(y) { use y; }",
+        );
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let free = prog.free_sites()[0];
+        let deref = prog.deref_sites()[0];
+        assert!(mhp.may_happen_in_parallel(free, deref));
+    }
+
+    #[test]
+    fn joined_sibling_not_parallel_with_later_fork() {
+        let (prog, cg, ts) = setup(
+            "fn main() { p = alloc o; fork t1 w1(p); join t1; fork t2 w2(p); }
+             fn w1(x) { free x; }
+             fn w2(y) { use y; }",
+        );
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let free = prog.free_sites()[0];
+        let deref = prog.deref_sites()[0];
+        assert!(!mhp.may_happen_in_parallel(free, deref));
+    }
+
+    #[test]
+    fn shared_helper_is_parallel_with_itself_across_threads() {
+        let (prog, cg, ts) = setup(
+            "fn main() { p = alloc o; fork t w(p); call h(p); }
+             fn w(x) { call h(x); }
+             fn h(y) { use y; }",
+        );
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let deref = prog.deref_sites()[0];
+        assert!(mhp.may_happen_in_parallel(deref, deref));
+    }
+}

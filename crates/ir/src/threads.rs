@@ -1,0 +1,182 @@
+//! Thread structure: which functions (and hence statements) each static
+//! thread executes, and the fork-tree parent relation.
+//!
+//! A thread's function set is the closure of its (resolved) entry
+//! function over *call* edges only; functions reached through a fork
+//! site belong to the forked thread, not to the forking one. A function
+//! called from several threads belongs to all of them — the analyses
+//! treat its statements as executable by every member thread, the usual
+//! thread-modular over-approximation.
+
+use crate::callgraph::CallGraph;
+use crate::ids::{FuncId, Label, ThreadId, MAIN_THREAD};
+use crate::program::Program;
+
+/// Computed thread structure over a bounded program.
+#[derive(Debug)]
+pub struct ThreadStructure {
+    /// Resolved entry functions per thread.
+    pub entries: Vec<Vec<FuncId>>,
+    /// Functions each thread may execute (call-edge closure of entries).
+    pub funcs: Vec<Vec<FuncId>>,
+    /// `threads_of_func[f]` — threads that may execute `f`.
+    pub threads_of_func: Vec<Vec<ThreadId>>,
+    /// Fork-tree parent of each thread (main is its own parent).
+    pub parent: Vec<ThreadId>,
+}
+
+impl ThreadStructure {
+    /// Computes the thread structure from the program and its call graph.
+    pub fn compute(prog: &Program, cg: &CallGraph) -> Self {
+        let n_threads = prog.threads.len();
+        let n_funcs = prog.funcs.len();
+
+        // Resolve entries: main runs the program entry; forked threads
+        // run the resolved targets of their fork site.
+        let mut entries: Vec<Vec<FuncId>> = vec![Vec::new(); n_threads];
+        if let Some(main_entry) = prog.entry {
+            entries[MAIN_THREAD.index()].push(main_entry);
+        }
+        for (ti, info) in prog.threads.iter().enumerate().skip(1) {
+            if let Some(fork) = info.fork_site {
+                entries[ti] = cg.fork_targets.get(&fork).cloned().unwrap_or_default();
+            }
+        }
+
+        // Call-edge-only closure per thread.
+        let mut funcs: Vec<Vec<FuncId>> = vec![Vec::new(); n_threads];
+        for t in 0..n_threads {
+            let mut seen = vec![false; n_funcs];
+            let mut work: Vec<usize> = entries[t].iter().map(|f| f.index()).collect();
+            for &f in &work {
+                seen[f] = true;
+            }
+            while let Some(f) = work.pop() {
+                for g in &cg.calls[f] {
+                    if !seen[g.index()] {
+                        seen[g.index()] = true;
+                        work.push(g.index());
+                    }
+                }
+            }
+            funcs[t] = (0..n_funcs)
+                .filter(|&i| seen[i])
+                .map(|i| FuncId::new(i as u32))
+                .collect();
+        }
+
+        let mut threads_of_func: Vec<Vec<ThreadId>> = vec![Vec::new(); n_funcs];
+        for (t, fs) in funcs.iter().enumerate() {
+            for f in fs {
+                threads_of_func[f.index()].push(ThreadId::new(t as u32));
+            }
+        }
+
+        // Parent: the thread whose function set contains the fork site's
+        // function. Iterate because a forked thread can itself fork.
+        let mut parent: Vec<ThreadId> = vec![MAIN_THREAD; n_threads];
+        for (ti, info) in prog.threads.iter().enumerate().skip(1) {
+            if let Some(fork) = info.fork_site {
+                let f = prog.func_of(fork);
+                // Prefer the lowest thread id executing the forking
+                // function (deterministic when a function is shared).
+                if let Some(&t) = threads_of_func[f.index()].first() {
+                    parent[ti] = t;
+                }
+            }
+        }
+
+        ThreadStructure {
+            entries,
+            funcs,
+            threads_of_func,
+            parent,
+        }
+    }
+
+    /// Threads that may execute the statement at `l`.
+    pub fn threads_of(&self, prog: &Program, l: Label) -> &[ThreadId] {
+        &self.threads_of_func[prog.func_of(l).index()]
+    }
+
+    /// Whether two labels may run in *distinct* threads — a necessary
+    /// condition for interference dependence (Defn. 1).
+    pub fn may_be_in_distinct_threads(&self, prog: &Program, l1: Label, l2: Label) -> bool {
+        let t1 = self.threads_of(prog, l1);
+        let t2 = self.threads_of(prog, l2);
+        t1.iter().any(|a| t2.iter().any(|b| a != b))
+    }
+
+    /// The chain of ancestors of `t` up to (and including) main.
+    pub fn ancestors(&self, t: ThreadId) -> Vec<ThreadId> {
+        let mut chain = vec![t];
+        let mut cur = t;
+        while self.parent[cur.index()] != cur {
+            cur = self.parent[cur.index()];
+            chain.push(cur);
+        }
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn setup(src: &str) -> (Program, CallGraph, ThreadStructure) {
+        let prog = parse(src).unwrap();
+        prog.validate().unwrap();
+        let cg = CallGraph::build(&prog);
+        let ts = ThreadStructure::compute(&prog, &cg);
+        (prog, cg, ts)
+    }
+
+    #[test]
+    fn fork_partitions_functions_between_threads() {
+        let (prog, _cg, ts) = setup(
+            "fn main() { p = alloc o; fork t w(p); free p; }
+             fn w(x) { use x; }",
+        );
+        let main_f = prog.func_by_name("main").unwrap();
+        let w = prog.func_by_name("w").unwrap();
+        let t = prog.thread_by_name("t").unwrap();
+        assert_eq!(ts.threads_of_func[main_f.index()], vec![MAIN_THREAD]);
+        assert_eq!(ts.threads_of_func[w.index()], vec![t]);
+        assert_eq!(ts.parent[t.index()], MAIN_THREAD);
+    }
+
+    #[test]
+    fn helper_called_from_both_threads_belongs_to_both() {
+        let (prog, _cg, ts) = setup(
+            "fn main() { p = alloc o; call h(p); fork t w(p); }
+             fn w(x) { call h(x); }
+             fn h(y) { use y; }",
+        );
+        let h = prog.func_by_name("h").unwrap();
+        assert_eq!(ts.threads_of_func[h.index()].len(), 2);
+        let free_site = prog.deref_sites()[0];
+        assert!(ts.may_be_in_distinct_threads(&prog, free_site, free_site));
+    }
+
+    #[test]
+    fn nested_fork_has_correct_parent() {
+        let (prog, _cg, ts) = setup(
+            "fn main() { p = alloc o; fork t1 w1(p); }
+             fn w1(x) { fork t2 w2(x); }
+             fn w2(y) { use y; }",
+        );
+        let t1 = prog.thread_by_name("t1").unwrap();
+        let t2 = prog.thread_by_name("t2").unwrap();
+        assert_eq!(ts.parent[t2.index()], t1);
+        assert_eq!(ts.ancestors(t2), vec![t2, t1, MAIN_THREAD]);
+    }
+
+    #[test]
+    fn same_function_same_thread_not_distinct() {
+        let (prog, _cg, ts) = setup("fn main() { p = alloc o; free p; use p; }");
+        let f = prog.free_sites()[0];
+        let d = prog.deref_sites()[0];
+        assert!(!ts.may_be_in_distinct_threads(&prog, f, d));
+    }
+}

@@ -1,0 +1,258 @@
+//! Property-based tests for the interprocedural program order: on
+//! randomly generated structured concurrent programs, `happens_before`
+//! must behave like a strict partial order that agrees with block
+//! structure and fork/join semantics.
+
+use proptest::prelude::*;
+
+use canary_ir::{
+    CallGraph, CondExpr, Inst, Label, MhpAnalysis, OrderGraph, Program, ProgramBuilder,
+    ThreadStructure,
+};
+
+/// A random structured body: a sequence of statements, branches and
+/// bounded loops, with optional fork/join of one worker.
+#[derive(Clone, Debug)]
+enum Piece {
+    Stmt,
+    Branch(Vec<Piece>, Vec<Piece>),
+    Loop(Vec<Piece>),
+    /// Call one of a pool of shared helper functions — the shape that
+    /// once broke antisymmetry (ascend followed by an illegal
+    /// re-descend into the completed call).
+    CallHelper(u8),
+}
+
+fn piece_strategy() -> impl Strategy<Value = Vec<Piece>> {
+    let leaf = prop_oneof![Just(Piece::Stmt), (0u8..3).prop_map(Piece::CallHelper)];
+    let piece = leaf.prop_recursive(3, 12, 3, |inner| {
+        let seq = prop::collection::vec(inner.clone(), 0..3);
+        prop_oneof![
+            Just(Piece::Stmt),
+            (0u8..3).prop_map(Piece::CallHelper),
+            (seq.clone(), seq.clone()).prop_map(|(a, b)| Piece::Branch(a, b)),
+            seq.prop_map(Piece::Loop),
+        ]
+    });
+    prop::collection::vec(piece, 1..5)
+}
+
+fn emit(f: &mut canary_ir::FuncBody<'_>, pieces: &[Piece], depth: &mut u32) {
+    for p in pieces {
+        match p {
+            Piece::Stmt => {
+                f.nop();
+            }
+            Piece::Branch(a, b) => {
+                *depth += 1;
+                let c = f.cond(&format!("c{depth}"));
+                let (tb, eb, jb) = f.begin_branch(CondExpr::atom(c));
+                f.switch_to(tb);
+                emit(f, a, depth);
+                f.seal_goto(jb);
+                f.switch_to(eb);
+                emit(f, b, depth);
+                f.seal_goto(jb);
+                f.switch_to(jb);
+            }
+            Piece::Loop(body) => {
+                *depth += 1;
+                let c = f.cond(&format!("l{depth}"));
+                let mut d2 = *depth * 100;
+                f.while_unrolled(CondExpr::atom(c), 2, |f| {
+                    d2 += 1;
+                    emit(f, body, &mut d2);
+                });
+            }
+            Piece::CallHelper(k) => {
+                f.call(&[], &format!("helper_{k}"), &[]);
+            }
+        }
+    }
+}
+
+fn build_program(main_pieces: &[Piece], worker_pieces: &[Piece], with_join: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    // A small shared helper pool: callable from main, the worker, and
+    // helper_2 calls helper_0 so ascend/descend chains compose.
+    for k in 0..3 {
+        b.func(&format!("helper_{k}"), &[]);
+    }
+    let worker = b.func("worker", &["x"]);
+    let main = b.func("main", &[]);
+    for k in 0..3 {
+        let h = b.program().func_by_name(&format!("helper_{k}")).unwrap();
+        let mut f = b.body(h);
+        f.nop();
+        if k == 2 {
+            f.call(&[], "helper_0", &[]);
+        }
+        f.nop();
+    }
+    {
+        let mut f = b.body(worker);
+        let mut depth = 1000;
+        emit(&mut f, worker_pieces, &mut depth);
+        f.nop();
+    }
+    {
+        let mut f = b.body(main);
+        let p = f.alloc("p", "o");
+        let mut depth = 0;
+        emit(&mut f, main_pieces, &mut depth);
+        f.fork("t", "worker", &[p]);
+        let mut depth2 = 500;
+        emit(&mut f, main_pieces, &mut depth2);
+        if with_join {
+            f.join("t");
+            f.nop();
+        }
+    }
+    b.set_entry(main);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn happens_before_is_irreflexive_and_po_is_deterministic(
+        main_pieces in piece_strategy(),
+        worker_pieces in piece_strategy(),
+        with_join in any::<bool>(),
+    ) {
+        // With shared, re-invoked helpers the merged-label relation is
+        // neither transitive nor antisymmetric (a label stands for all
+        // its dynamic instances — the documented soundiness that clone-
+        // based context sensitivity removes). What must always hold:
+        // irreflexivity, and `program_order` resolving every pair to at
+        // most one direction, deterministically.
+        let prog = build_program(&main_pieces, &worker_pieces, with_join);
+        prog.validate().unwrap();
+        let cg = CallGraph::build(&prog);
+        let og = OrderGraph::build(&prog, &cg);
+        let labels: Vec<Label> = prog.labels().collect();
+        let step = (labels.len() / 16).max(1);
+        let sample: Vec<Label> = labels.iter().copied().step_by(step).collect();
+        for &a in &sample {
+            prop_assert!(!og.happens_before(a, a), "irreflexive at {a}");
+            for &b in &sample {
+                let d1 = og.program_order(a, b);
+                let d2 = og.program_order(a, b);
+                prop_assert_eq!(d1, d2, "determinism at {},{}", a, b);
+                if let (Some(x), Some(y)) =
+                    (og.program_order(a, b), og.program_order(b, a))
+                {
+                    prop_assert_eq!(x, !y, "consistent orientation {},{}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn happens_before_is_transitive_after_context_cloning(
+        main_pieces in piece_strategy(),
+        worker_pieces in piece_strategy(),
+        with_join in any::<bool>(),
+    ) {
+        // Clone-based context sensitivity gives every (cloned) function
+        // a single call site, eliminating the context mixing — the
+        // relation becomes a strict partial order on live code.
+        let prog = build_program(&main_pieces, &worker_pieces, with_join);
+        let cloned = canary_ir::clone_contexts(
+            &prog,
+            &canary_ir::CloneOptions { depth: 8, max_growth: 64 },
+        );
+        cloned.validate().unwrap();
+        let cg = CallGraph::build(&cloned);
+        let ts = ThreadStructure::compute(&cloned, &cg);
+        let og = OrderGraph::build(&cloned, &cg);
+        // Restrict to labels of functions some thread actually executes.
+        let live: Vec<Label> = cloned
+            .labels()
+            .filter(|&l| !ts.threads_of(&cloned, l).is_empty())
+            .collect();
+        let step = (live.len() / 12).max(1);
+        let sample: Vec<Label> = live.iter().copied().step_by(step).collect();
+        for &a in &sample {
+            for &b in &sample {
+                let ab = og.happens_before(a, b);
+                prop_assert!(!(ab && og.happens_before(b, a)), "antisymmetry");
+                if !ab {
+                    continue;
+                }
+                for &c in &sample {
+                    if og.happens_before(b, c) {
+                        prop_assert!(
+                            og.happens_before(a, c),
+                            "transitivity {a}<{b}<{c} (cloned)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_order_and_fork_join_agree(
+        main_pieces in piece_strategy(),
+        worker_pieces in piece_strategy(),
+        with_join in any::<bool>(),
+    ) {
+        let prog = build_program(&main_pieces, &worker_pieces, with_join);
+        let cg = CallGraph::build(&prog);
+        let og = OrderGraph::build(&prog, &cg);
+        // Consecutive statements of any block are ordered.
+        for func in &prog.funcs {
+            for block in &func.blocks {
+                for w in block.stmts.windows(2) {
+                    prop_assert!(og.happens_before(w[0], w[1]));
+                }
+            }
+        }
+        // Fork precedes every worker statement; join follows them.
+        let fork = prog
+            .labels()
+            .find(|&l| matches!(prog.inst(l), Inst::Fork { .. }))
+            .unwrap();
+        let worker_f = prog.func_by_name("worker").unwrap();
+        for wl in prog.func(worker_f).labels() {
+            prop_assert!(og.happens_before(fork, wl), "fork < {wl}");
+            if with_join {
+                let join = prog
+                    .labels()
+                    .find(|&l| matches!(prog.inst(l), Inst::Join { .. }))
+                    .unwrap();
+                prop_assert!(og.happens_before(wl, join), "{wl} < join");
+            }
+        }
+    }
+
+    #[test]
+    fn mhp_is_symmetric_and_excludes_ordered_pairs(
+        main_pieces in piece_strategy(),
+        worker_pieces in piece_strategy(),
+        with_join in any::<bool>(),
+    ) {
+        let prog = build_program(&main_pieces, &worker_pieces, with_join);
+        let cg = CallGraph::build(&prog);
+        let ts = ThreadStructure::compute(&prog, &cg);
+        let mhp = MhpAnalysis::new(&prog, &cg, &ts);
+        let labels: Vec<Label> = prog.labels().collect();
+        let step = (labels.len() / 10).max(1);
+        let sample: Vec<Label> = labels.iter().copied().step_by(step).collect();
+        for &a in &sample {
+            for &b in &sample {
+                let ab = mhp.may_happen_in_parallel(a, b);
+                prop_assert_eq!(ab, mhp.may_happen_in_parallel(b, a), "symmetry");
+                if ab {
+                    prop_assert!(
+                        !mhp.order_graph().happens_before(a, b)
+                            && !mhp.order_graph().happens_before(b, a),
+                        "parallel pairs are unordered"
+                    );
+                }
+            }
+        }
+    }
+}

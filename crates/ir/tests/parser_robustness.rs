@@ -1,0 +1,90 @@
+//! Parser robustness: arbitrary input must never panic — either a
+//! program or a positioned [`ParseError`] comes back — and valid
+//! programs produced by the generator side of the house always re-lex.
+
+use proptest::prelude::*;
+
+use canary_ir::{parse, parse_with, ParseOptions};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_ascii_never_panics(src in "[ -~\\n]{0,200}") {
+        // Result is irrelevant; absence of panics is the property.
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop_oneof![
+            Just("fn".to_string()),
+            Just("main".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just(";".to_string()),
+            Just("=".to_string()),
+            Just("*".to_string()),
+            Just("alloc".to_string()),
+            Just("free".to_string()),
+            Just("use".to_string()),
+            Just("fork".to_string()),
+            Just("join".to_string()),
+            Just("if".to_string()),
+            Just("else".to_string()),
+            Just("while".to_string()),
+            Just("return".to_string()),
+            Just("call".to_string()),
+            Just("x".to_string()),
+            Just("o".to_string()),
+            Just("!".to_string()),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn unroll_depths_never_panic(depth in 0usize..6) {
+        let src = "fn main() { p = alloc o; while (c) { use p; while (d) { skip; } } }";
+        let prog = parse_with(src, &ParseOptions { loop_unroll: depth });
+        if depth == 0 {
+            // Zero unrolling elides loop bodies entirely.
+            prop_assert_eq!(prog.unwrap().deref_sites().len(), 0);
+        } else {
+            let p = prog.unwrap();
+            p.validate().unwrap();
+            prop_assert_eq!(p.deref_sites().len(), depth);
+        }
+    }
+
+    #[test]
+    fn deeply_nested_branches_parse(depth in 1usize..12) {
+        let mut src = String::from("fn main() { p = alloc o; ");
+        for i in 0..depth {
+            src.push_str(&format!("if (c{i}) {{ "));
+        }
+        src.push_str("use p; ");
+        for _ in 0..depth {
+            src.push_str("} ");
+        }
+        src.push('}');
+        let prog = parse(&src).unwrap();
+        prog.validate().unwrap();
+        prop_assert_eq!(prog.deref_sites().len(), 1);
+    }
+}
+
+#[test]
+fn pathological_brace_nesting_errors_cleanly() {
+    let src = "fn main() ".to_string() + &"{".repeat(500);
+    assert!(parse(&src).is_err());
+}
+
+#[test]
+fn non_ascii_identifier_is_an_error_not_a_panic() {
+    assert!(parse("fn main() { ☃ = alloc o; }").is_err());
+}

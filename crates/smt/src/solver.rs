@@ -1,0 +1,501 @@
+//! The CDCL(T) solving loop and its parallel drivers (§5.2).
+//!
+//! The propositional skeleton of `Φ_all` is solved by the CDCL core;
+//! full models are checked against the strict-partial-order theory, and
+//! theory conflicts come back as blocking lemmas. Three §5.2
+//! optimizations are implemented and individually switchable for the
+//! ablation benches:
+//!
+//! 1. the semi-decision *prefilter* ([`crate::simplify`]);
+//! 2. *parallel portfolio* solving of independent queries (one query per
+//!    source-sink path — they share nothing, so they parallelize
+//!    embarrassingly);
+//! 3. *cube-and-conquer* splitting of a single hard query on its most
+//!    frequent atoms.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::cnf::{encode, Encoding};
+use crate::sat::{Lit, SatResult, SatSolver, Var};
+use crate::simplify::obviously_false;
+use crate::term::{Node, TermId, TermPool};
+use crate::theory::{check_orders, OrderEdge, TheoryResult};
+
+/// Result of an SMT query.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SmtResult {
+    /// A sequentially consistent execution satisfying the constraints
+    /// exists.
+    Sat,
+    /// No such execution exists — the value-flow path is irrealizable.
+    Unsat,
+}
+
+impl SmtResult {
+    /// Whether the query was satisfiable.
+    pub fn is_sat(self) -> bool {
+        matches!(self, SmtResult::Sat)
+    }
+}
+
+/// Options controlling the solving strategy.
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Apply the semi-decision prefilter before full solving.
+    pub prefilter: bool,
+    /// Worker threads for [`check_all`]; 1 disables parallelism.
+    pub num_threads: usize,
+    /// Atoms to split on for cube-and-conquer (0 disables).
+    pub cube_split: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            prefilter: true,
+            num_threads: 1,
+            cube_split: 0,
+        }
+    }
+}
+
+/// Aggregate solver statistics (for the scalability tables).
+#[derive(Debug, Default)]
+pub struct SolverStats {
+    /// Queries answered by the prefilter alone.
+    pub prefiltered: AtomicU64,
+    /// Full CDCL(T) queries run.
+    pub solved: AtomicU64,
+    /// Theory lemmas learned across all queries.
+    pub theory_lemmas: AtomicU64,
+}
+
+impl SolverStats {
+    /// Snapshot of (prefiltered, solved, theory lemmas).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.prefiltered.load(Ordering::Relaxed),
+            self.solved.load(Ordering::Relaxed),
+            self.theory_lemmas.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Decides one term with the CDCL(T) loop.
+pub fn check(pool: &TermPool, t: TermId, opts: &SolverOptions, stats: &SolverStats) -> SmtResult {
+    if opts.prefilter {
+        if t == pool.tt() {
+            stats.prefiltered.fetch_add(1, Ordering::Relaxed);
+            return SmtResult::Sat;
+        }
+        if obviously_false(pool, t) {
+            stats.prefiltered.fetch_add(1, Ordering::Relaxed);
+            return SmtResult::Unsat;
+        }
+    }
+    stats.solved.fetch_add(1, Ordering::Relaxed);
+    if opts.cube_split > 0 && opts.num_threads > 1 {
+        return cube_and_conquer(pool, t, opts, stats);
+    }
+    check_with_assumptions(pool, t, &[], stats)
+}
+
+/// The core lazy CDCL(T) loop, optionally under cube assumptions given
+/// as (bool atom index, value) pairs.
+fn check_with_assumptions(
+    pool: &TermPool,
+    t: TermId,
+    cube: &[(u32, bool)],
+    stats: &SolverStats,
+) -> SmtResult {
+    let mut sat = SatSolver::new();
+    let mut enc = Encoding::default();
+    encode(pool, t, &mut sat, &mut enc);
+    let assumptions: Vec<Lit> = cube
+        .iter()
+        .filter_map(|&(atom, val)| enc.bool_vars.get(&atom).map(|&v| Lit::new(v, val)))
+        .collect();
+    loop {
+        match sat.solve_with_assumptions(&assumptions) {
+            SatResult::Unsat => return SmtResult::Unsat,
+            SatResult::Sat(model) => {
+                let oriented = enc.oriented_edges(&model);
+                let edges: Vec<OrderEdge> = oriented
+                    .iter()
+                    .map(|&(from, to, var)| OrderEdge {
+                        from,
+                        to,
+                        atom: var.index(),
+                    })
+                    .collect();
+                match check_orders(&edges) {
+                    TheoryResult::Consistent => return SmtResult::Sat,
+                    TheoryResult::Conflict(vars) => {
+                        stats.theory_lemmas.fetch_add(1, Ordering::Relaxed);
+                        // Block this orientation of the cycle.
+                        let clause: Vec<Lit> = vars
+                            .iter()
+                            .map(|&vi| {
+                                let v = Var(vi as u32);
+                                Lit::new(v, !model[vi])
+                            })
+                            .collect();
+                        if !sat.add_clause(&clause) {
+                            return SmtResult::Unsat;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Cube-and-conquer (§5.2): split on the most frequent Boolean atoms
+/// and solve the cubes in parallel, each in its own solver.
+fn cube_and_conquer(
+    pool: &TermPool,
+    t: TermId,
+    opts: &SolverOptions,
+    stats: &SolverStats,
+) -> SmtResult {
+    let atoms = pick_split_atoms(pool, t, opts.cube_split);
+    if atoms.is_empty() {
+        return check_with_assumptions(pool, t, &[], stats);
+    }
+    let n_cubes = 1usize << atoms.len();
+    let found_sat = AtomicBool::new(false);
+    let next = AtomicU64::new(0);
+    let workers = opts.num_threads.min(n_cubes).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= n_cubes || found_sat.load(Ordering::Relaxed) {
+                    return;
+                }
+                let cube: Vec<(u32, bool)> = atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &a)| (a, (i >> bit) & 1 == 1))
+                    .collect();
+                if check_with_assumptions(pool, t, &cube, stats) == SmtResult::Sat {
+                    found_sat.store(true, Ordering::Relaxed);
+                    return;
+                }
+            });
+        }
+    });
+    if found_sat.load(Ordering::Relaxed) {
+        SmtResult::Sat
+    } else {
+        SmtResult::Unsat
+    }
+}
+
+/// Picks up to `k` Boolean atoms by occurrence count for splitting.
+fn pick_split_atoms(pool: &TermPool, t: TermId, k: usize) -> Vec<u32> {
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    let mut stack = vec![t];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        match pool.node(x) {
+            Node::BoolAtom(i) => *counts.entry(*i).or_insert(0) += 1,
+            Node::Not(inner) => stack.push(*inner),
+            Node::And(xs) | Node::Or(xs) => stack.extend(xs.iter().copied()),
+            _ => {}
+        }
+    }
+    let mut atoms: Vec<(u32, usize)> = counts.into_iter().collect();
+    atoms.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    atoms.into_iter().take(k).map(|(a, _)| a).collect()
+}
+
+/// A satisfying witness: the events of the query arranged in one
+/// concrete sequentially consistent execution order (a topological
+/// order of the model's oriented order atoms).
+///
+/// Returns `None` when the query is unsatisfiable. Events that appear
+/// in no order atom are omitted (their position is unconstrained).
+pub fn check_witness(
+    pool: &TermPool,
+    t: TermId,
+    stats: &SolverStats,
+) -> Option<Vec<crate::term::EventId>> {
+    let mut sat = SatSolver::new();
+    let mut enc = Encoding::default();
+    encode(pool, t, &mut sat, &mut enc);
+    loop {
+        match sat.solve() {
+            SatResult::Unsat => return None,
+            SatResult::Sat(model) => {
+                let oriented = enc.oriented_edges(&model);
+                let edges: Vec<OrderEdge> = oriented
+                    .iter()
+                    .map(|&(from, to, var)| OrderEdge {
+                        from,
+                        to,
+                        atom: var.index(),
+                    })
+                    .collect();
+                match check_orders(&edges) {
+                    TheoryResult::Consistent => {
+                        return Some(topological_events(&oriented));
+                    }
+                    TheoryResult::Conflict(vars) => {
+                        stats.theory_lemmas.fetch_add(1, Ordering::Relaxed);
+                        let clause: Vec<Lit> = vars
+                            .iter()
+                            .map(|&vi| {
+                                let v = Var(vi as u32);
+                                Lit::new(v, !model[vi])
+                            })
+                            .collect();
+                        if !sat.add_clause(&clause) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Topologically sorts the events of an acyclic oriented edge set
+/// (Kahn's algorithm; ties broken by event id for determinism).
+fn topological_events(
+    oriented: &[(crate::term::EventId, crate::term::EventId, Var)],
+) -> Vec<crate::term::EventId> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut succs: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut indeg: BTreeMap<u32, usize> = BTreeMap::new();
+    for &(a, b, _) in oriented {
+        if succs.entry(a).or_default().insert(b) {
+            *indeg.entry(b).or_insert(0) += 1;
+        }
+        indeg.entry(a).or_insert(0);
+    }
+    let mut ready: BTreeSet<u32> = indeg
+        .iter()
+        .filter(|&(_, &d)| d == 0)
+        .map(|(&e, _)| e)
+        .collect();
+    let mut out = Vec::with_capacity(indeg.len());
+    while let Some(&e) = ready.iter().next() {
+        ready.remove(&e);
+        out.push(e);
+        if let Some(next) = succs.get(&e) {
+            for &n in next {
+                let d = indeg.get_mut(&n).expect("edge target has an indegree");
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(n);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Solves many independent queries, optionally in parallel (§5.2:
+/// "the constraints on different source-sink paths are independent of
+/// each other, which gives us the ability to leverage parallelization").
+pub fn check_all(
+    pool: &TermPool,
+    queries: &[TermId],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+) -> Vec<SmtResult> {
+    if opts.num_threads <= 1 || queries.len() <= 1 {
+        return queries
+            .iter()
+            .map(|&q| check(pool, q, opts, stats))
+            .collect();
+    }
+    let next = AtomicU64::new(0);
+    let results: Vec<std::sync::Mutex<Option<SmtResult>>> =
+        queries.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.num_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                if i >= queries.len() {
+                    return;
+                }
+                let sequential = SolverOptions {
+                    num_threads: 1,
+                    ..opts.clone()
+                };
+                let r = check(pool, queries[i], &sequential, stats);
+                *results[i].lock().expect("no poisoning: workers do not panic") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("scope joined").expect("all indices visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solo() -> (SolverOptions, SolverStats) {
+        (SolverOptions::default(), SolverStats::default())
+    }
+
+    #[test]
+    fn pure_boolean_sat_and_unsat() {
+        let mut p = TermPool::new();
+        let a = p.bool_atom(0);
+        let b = p.bool_atom(1);
+        let na = p.not(a);
+        let f = p.or2(a, b);
+        let (opts, stats) = solo();
+        assert_eq!(check(&p, f, &opts, &stats), SmtResult::Sat);
+        let nb = p.not(b);
+        let g = p.and([f, na, nb]);
+        assert_eq!(check(&p, g, &opts, &stats), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn fig2_guard_is_unsat() {
+        // θ1 ∧ ¬θ1 with order constraints — the paper's Fig. 2 example.
+        let mut p = TermPool::new();
+        let theta = p.bool_atom(0);
+        let ntheta = p.not(theta);
+        let o1 = p.order_lt(13, 6); // store before load
+        let o2 = p.order_lt(3, 13); // no overwrite
+        let guard = p.and([theta, ntheta, o1, o2]);
+        let (opts, stats) = solo();
+        assert_eq!(check(&p, guard, &opts, &stats), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn order_cycle_through_boolean_structure_is_unsat() {
+        // (O1<O2) ∧ (O2<O3) ∧ (O3<O1) is hidden from the prefilter by a
+        // disjunctive wrapper, so the theory loop must catch it.
+        let mut p = TermPool::new();
+        let o12 = p.order_lt(1, 2);
+        let o23 = p.order_lt(2, 3);
+        let o31 = p.order_lt(3, 1);
+        let a = p.bool_atom(0);
+        let b = p.bool_atom(1);
+        let na = p.not(a);
+        let cyc = p.and([o12, o23, o31]);
+        // Distinct boolean tails on each side keep the construction-time
+        // factoring rewrite from collapsing the disjunction.
+        let left = p.and([cyc, a, b]);
+        let right = p.and2(cyc, na);
+        let f = p.or2(left, right);
+        let (opts, stats) = solo();
+        assert_eq!(check(&p, f, &opts, &stats), SmtResult::Unsat);
+        assert!(stats.theory_lemmas.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn order_choice_is_sat() {
+        // (O1<O2 ∨ O2<O1) ∧ O2<O3: satisfiable.
+        let mut p = TermPool::new();
+        let o12 = p.order_lt(1, 2);
+        let o21 = p.order_lt(2, 1);
+        let o23 = p.order_lt(2, 3);
+        let choice = p.or2(o12, o21);
+        let f = p.and2(choice, o23);
+        let (opts, stats) = solo();
+        assert_eq!(check(&p, f, &opts, &stats), SmtResult::Sat);
+    }
+
+    #[test]
+    fn transitivity_is_enforced_lazily() {
+        // O1<O2 ∧ O2<O3 ∧ O3<O1 must be unsat even though no single
+        // atom pair is contradictory.
+        let mut p = TermPool::new();
+        let o12 = p.order_lt(1, 2);
+        let o23 = p.order_lt(2, 3);
+        let o31 = p.order_lt(3, 1);
+        // Disable prefilter to force the lazy loop.
+        let opts = SolverOptions {
+            prefilter: false,
+            ..SolverOptions::default()
+        };
+        let stats = SolverStats::default();
+        let f = p.and([o12, o23, o31]);
+        assert_eq!(check(&p, f, &opts, &stats), SmtResult::Unsat);
+    }
+
+    #[test]
+    fn prefilter_short_circuits() {
+        let mut p = TermPool::new();
+        let o12 = p.order_lt(1, 2);
+        let o23 = p.order_lt(2, 3);
+        let o31 = p.order_lt(3, 1);
+        let f = p.and([o12, o23, o31]);
+        let (opts, stats) = solo();
+        assert_eq!(check(&p, f, &opts, &stats), SmtResult::Unsat);
+        assert_eq!(stats.prefiltered.load(Ordering::Relaxed), 1);
+        assert_eq!(stats.solved.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn parallel_check_all_matches_sequential() {
+        let mut p = TermPool::new();
+        let mut queries = Vec::new();
+        for i in 0..16u32 {
+            let a = p.bool_atom(i);
+            let na = p.not(a);
+            let o = p.order_lt(i, i + 1);
+            let q = if i % 2 == 0 {
+                p.and2(a, o)
+            } else {
+                p.and([a, na]) // unsat
+            };
+            queries.push(q);
+        }
+        let seq_opts = SolverOptions::default();
+        let par_opts = SolverOptions {
+            num_threads: 4,
+            ..SolverOptions::default()
+        };
+        let s1 = SolverStats::default();
+        let s2 = SolverStats::default();
+        let seq = check_all(&p, &queries, &seq_opts, &s1);
+        let par = check_all(&p, &queries, &par_opts, &s2);
+        assert_eq!(seq, par);
+        for (i, r) in seq.iter().enumerate() {
+            assert_eq!(r.is_sat(), i % 2 == 0, "query {i}");
+        }
+    }
+
+    #[test]
+    fn cube_and_conquer_agrees_with_plain_solving() {
+        let mut p = TermPool::new();
+        // A formula with enough booleans to split on.
+        let atoms: Vec<TermId> = (0..6).map(|i| p.bool_atom(i)).collect();
+        let mut clauses = Vec::new();
+        for i in 0..6 {
+            let x = atoms[i];
+            let y = atoms[(i + 1) % 6];
+            let ny = p.not(y);
+            clauses.push(p.or2(x, ny));
+        }
+        let o = p.order_lt(0, 1);
+        clauses.push(o);
+        let f = p.and(clauses);
+        let plain_opts = SolverOptions::default();
+        let cube_opts = SolverOptions {
+            num_threads: 4,
+            cube_split: 3,
+            prefilter: false,
+        };
+        let s1 = SolverStats::default();
+        let s2 = SolverStats::default();
+        assert_eq!(
+            check(&p, f, &plain_opts, &s1),
+            check(&p, f, &cube_opts, &s2)
+        );
+    }
+}

@@ -1,0 +1,501 @@
+//! The deterministic synthetic-project generator.
+//!
+//! Each workload is a bounded concurrent program with:
+//!
+//! * a `main` thread allocating shared cells, forking workers, joining
+//!   some of them — the fork/join skeleton Alg. 2 and the MHP analysis
+//!   feed on;
+//! * worker threads mixing private heap traffic, branch-guarded shared
+//!   loads/stores, and calls into a helper library (exercising Alg. 1's
+//!   summaries);
+//! * statement *filler* (copies, binops, private cells, branches) that
+//!   scales the program to the target size without touching the seeded
+//!   patterns — filler never calls `free`, so ground truth stays exact;
+//! * seeded patterns on dedicated cells:
+//!   1. **true bugs** — a racy inter-thread use-after-free (the free
+//!      and the dereference may interleave);
+//!   2. **benign patterns** — the same race "protected" by two branch
+//!      conditions that are correlated in the imagined real program but
+//!      appear as independent atoms to any static tool; every
+//!      value-flow checker (Canary included) reports these, which is
+//!      precisely the paper's residual false-positive class;
+//!   3. **contradiction patterns** — the Fig. 2 shape (`θ` vs `¬θ`):
+//!      reported by path-insensitive tools, refuted by Canary;
+//!      alternated with join-ordered frees that only order-aware tools
+//!      can dismiss.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use canary_ir::{CondExpr, FuncBody, FuncId, Label, Program, ProgramBuilder, VarId};
+
+use crate::spec::WorkloadSpec;
+
+/// Ground truth for one generated workload.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Seeded real inter-thread UAFs as (free, deref) label pairs.
+    pub uaf_bugs: Vec<(Label, Label)>,
+    /// Seeded benign patterns as (free, deref) label pairs — reports
+    /// matching these are false positives.
+    pub benign: Vec<(Label, Label)>,
+    /// Number of contradiction/ordered patterns seeded (baseline-only
+    /// false positives; no label pair is a real bug).
+    pub infeasible_patterns: usize,
+}
+
+/// A generated workload.
+#[derive(Debug)]
+pub struct Workload {
+    /// The bounded concurrent program.
+    pub prog: Program,
+    /// What was seeded where.
+    pub truth: GroundTruth,
+}
+
+/// Precision outcome of matching a tool's reports against ground truth.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Eval {
+    /// Reports matching a seeded real bug.
+    pub true_positives: usize,
+    /// Reports matching nothing real (benign patterns, contradiction
+    /// patterns or filler noise).
+    pub false_positives: usize,
+    /// Seeded real bugs no report matched.
+    pub missed: usize,
+}
+
+impl Eval {
+    /// False-positive rate in percent (0 when no reports).
+    pub fn fp_rate(&self) -> f64 {
+        let total = self.true_positives + self.false_positives;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.false_positives as f64 / total as f64 * 100.0
+            }
+        }
+    }
+}
+
+/// Scores (source, sink) report pairs against the truth.
+pub fn evaluate(truth: &GroundTruth, reports: &[(Label, Label)]) -> Eval {
+    let mut seen_bugs = vec![false; truth.uaf_bugs.len()];
+    let mut eval = Eval::default();
+    for &(src, sink) in reports {
+        if let Some(i) = truth
+            .uaf_bugs
+            .iter()
+            .position(|&(f, d)| f == src && d == sink)
+        {
+            if !seen_bugs[i] {
+                seen_bugs[i] = true;
+                eval.true_positives += 1;
+            }
+        } else {
+            eval.false_positives += 1;
+        }
+    }
+    eval.missed = seen_bugs.iter().filter(|&&b| !b).count();
+    eval
+}
+
+/// Generates a workload from a spec. Deterministic in the seed.
+pub fn generate(spec: &WorkloadSpec) -> Workload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new();
+    let mut truth = GroundTruth::default();
+
+    // --- declare functions up front so names resolve ----------------
+    let main = b.func("main", &[]);
+    let workers: Vec<FuncId> = (0..spec.threads)
+        .map(|i| b.func(&format!("worker_{i}"), &["ca", "cb"]))
+        .collect();
+    let pick = b.func("pick", &["pa", "pb"]);
+    let n_helpers = 2 + spec.threads;
+    let helpers: Vec<FuncId> = (0..n_helpers)
+        .map(|i| b.func(&format!("helper_{i}"), &["p"]))
+        .collect();
+    let victims: Vec<FuncId> = (0..spec.true_bugs)
+        .map(|i| b.func(&format!("bug_victim_{i}"), &["c"]))
+        .collect();
+    let benign_victims: Vec<FuncId> = (0..spec.benign_patterns)
+        .map(|i| b.func(&format!("benign_victim_{i}"), &["c"]))
+        .collect();
+    let contra_writers: Vec<FuncId> = (0..spec.contradiction_patterns)
+        .map(|i| b.func(&format!("contra_writer_{i}"), &["y"]))
+        .collect();
+    let handshakers: Vec<FuncId> = (0..spec.handshake_patterns)
+        .map(|i| b.func(&format!("hs_user_{i}"), &["c", "cv"]))
+        .collect();
+    let order_fps: Vec<FuncId> = (0..spec.order_fp_patterns)
+        .map(|i| b.func(&format!("ofp_{i}"), &[]))
+        .collect();
+
+    // --- helper library ---------------------------------------------
+    for (i, &h) in helpers.iter().enumerate() {
+        let mut f = b.body(h);
+        let p = f.var("p");
+        let local = f.alloc(&format!("hl_{i}"), &format!("hobj_{i}"));
+        f.store(p, local);
+        let back = f.load(&format!("hr_{i}"), p);
+        f.deref(back);
+        if i + 1 < n_helpers {
+            f.call(&[], &format!("helper_{}", i + 1), &[p]);
+        }
+        f.ret(&[back]);
+    }
+
+    // --- the `pick` conflation helper ---------------------------------
+    // Returns one of its two pointer arguments. Context-insensitive
+    // analyses merge the returned handle over *all* call sites, so every
+    // worker's web cells conflate into one alias class — the cascade
+    // that makes exhaustive points-to blow up on large programs.
+    // Canary's per-call-site summary substitution keeps them separate.
+    {
+        let mut f = b.body(pick);
+        let pa = f.var("pa");
+        let pb = f.var("pb");
+        let c = f.cond("pick_c");
+        f.if_then(CondExpr::atom(c), |f| {
+            f.ret(&[pa]);
+        });
+        f.ret(&[pb]);
+    }
+
+    // --- victims -----------------------------------------------------
+    for (i, &v) in victims.iter().enumerate() {
+        let mut f = b.body(v);
+        let c = f.var("c");
+        let x = f.load(&format!("bx_{i}"), c);
+        let use_label = f.deref(x);
+        truth.uaf_bugs.push((Label::new(0), use_label)); // free patched below
+    }
+    for (i, &v) in benign_victims.iter().enumerate() {
+        let mut f = b.body(v);
+        let c = f.var("c");
+        let guard = f.cond(&format!("benign_use_{i}"));
+        let mut use_label = None;
+        f.if_then(CondExpr::atom(guard), |f| {
+            let x = f.load(&format!("nx_{i}"), c);
+            use_label = Some(f.deref(x));
+        });
+        truth
+            .benign
+            .push((Label::new(0), use_label.expect("branch body ran")));
+    }
+    for (i, &w) in contra_writers.iter().enumerate() {
+        let mut f = b.body(w);
+        let y = f.var("y");
+        let theta = f.cond(&format!("theta_{i}"));
+        if i % 2 == 0 {
+            // Fig. 2 shape: store+free under ¬θ, read under θ (in main).
+            f.if_then(CondExpr::not_atom(theta), |f| {
+                let bv = f.alloc(&format!("cb_{i}"), &format!("cobj_{i}"));
+                f.store(y, bv);
+                f.free(bv);
+            });
+        } else {
+            // Join-ordered shape: the writer only *uses* the initial
+            // value; main frees it after joining, so the use always
+            // precedes the free.
+            let x = f.load(&format!("cx_{i}"), y);
+            f.deref(x);
+        }
+        truth.infeasible_patterns += 1;
+    }
+
+    // --- same-thread use-before-free bodies ----------------------------
+    for (i, &o) in order_fps.iter().enumerate() {
+        let mut f = b.body(o);
+        let cell = f.alloc(&format!("ocell_{i}"), &format!("ocell_o_{i}"));
+        let early = f.alloc(&format!("oinit_{i}"), &format!("oval_{i}"));
+        f.store(cell, early);
+        let x = f.load(&format!("ox_{i}"), cell);
+        f.deref(x);
+        let doomed = f.alloc(&format!("odoom_{i}"), &format!("odobj_{i}"));
+        f.store(cell, doomed);
+        f.free(doomed);
+        f.ret(&[]);
+    }
+
+    // --- handshake users: use the value, then signal completion --------
+    for (i, &h) in handshakers.iter().enumerate() {
+        let mut f = b.body(h);
+        let c = f.var("c");
+        let cv = f.var("cv");
+        let x = f.load(&format!("hx_{i}"), c);
+        f.deref(x);
+        f.notify(cv);
+    }
+
+    // --- main's filler chunks -----------------------------------------
+    const MAIN_CHUNK: usize = 96;
+    let main_budget = spec.target_stmts / (spec.threads + 1);
+    let n_main_chunks = (main_budget / MAIN_CHUNK).max(1);
+    let main_chunks: Vec<FuncId> = (0..n_main_chunks)
+        .map(|k| b.func(&format!("m_chunk_{k}"), &[]))
+        .collect();
+    for (k, &cf) in main_chunks.iter().enumerate() {
+        let mut f = b.body(cf);
+        emit_alias_web(&mut f, 9_000_000 + k, MAIN_CHUNK / 2);
+        emit_filler(&mut f, &mut rng, &format!("m{k}"), MAIN_CHUNK / 2);
+        f.ret(&[]);
+    }
+
+    // --- main --------------------------------------------------------
+    let mut f = b.body(main);
+    // Shared cells + initial values.
+    let cells: Vec<VarId> = (0..spec.shared_cells)
+        .map(|i| f.alloc(&format!("cell_{i}"), &format!("shared_{i}")))
+        .collect();
+    for (i, &c) in cells.iter().enumerate() {
+        let v = f.alloc(&format!("init_{i}"), &format!("val_{i}"));
+        f.store(c, v);
+    }
+    // Seeded true bugs: dedicated cells, racy free in main.
+    let mut pending_frees: Vec<(usize, VarId)> = Vec::new();
+    for i in 0..spec.true_bugs {
+        let cell = f.alloc(&format!("bugcell_{i}"), &format!("bugcell_o_{i}"));
+        let val = f.alloc(&format!("bugval_{i}"), &format!("bugobj_{i}"));
+        f.store(cell, val);
+        f.fork(&format!("bt_{i}"), &format!("bug_victim_{i}"), &[cell]);
+        pending_frees.push((i, val));
+    }
+    for (i, val) in pending_frees {
+        let free_label = f.free(val);
+        truth.uaf_bugs[i].0 = free_label;
+    }
+    // Benign patterns: the free is guarded by an *independent* atom.
+    for i in 0..spec.benign_patterns {
+        let cell = f.alloc(&format!("bncell_{i}"), &format!("bncell_o_{i}"));
+        let val = f.alloc(&format!("bnval_{i}"), &format!("bnobj_{i}"));
+        f.store(cell, val);
+        f.fork(&format!("nt_{i}"), &format!("benign_victim_{i}"), &[cell]);
+        let guard = f.cond(&format!("benign_free_{i}"));
+        let mut free_label = None;
+        f.if_then(CondExpr::atom(guard), |f| {
+            free_label = Some(f.free(val));
+        });
+        truth.benign[i].0 = free_label.expect("branch body ran");
+    }
+    // Contradiction / ordered patterns.
+    for i in 0..spec.contradiction_patterns {
+        let cell = f.alloc(&format!("ccell_{i}"), &format!("ccell_o_{i}"));
+        let init = f.alloc(&format!("cinit_{i}"), &format!("cval_{i}"));
+        f.store(cell, init);
+        f.fork(&format!("ct_{i}"), &format!("contra_writer_{i}"), &[cell]);
+        let theta = f.cond(&format!("theta_{i}"));
+        if i % 2 == 0 {
+            // Several readers under θ — each contradicts the writer's
+            // ¬θ, so each is one more warning for the unguarded
+            // baselines and zero for Canary (the report-volume gap of
+            // Tbl. 1 grows with subject size through this knob).
+            let readers = 3 + spec.target_stmts / 3000;
+            for r in 0..readers {
+                f.if_then(CondExpr::atom(theta), |f| {
+                    let x = f.load(&format!("cx_{i}_{r}"), cell);
+                    f.deref(x);
+                });
+            }
+        } else {
+            // Free the initial value only after the reader joined: the
+            // use is join-ordered before the free, so only order-aware
+            // tools can dismiss the pair.
+            f.join(&format!("ct_{i}"));
+            f.free(init);
+        }
+    }
+    // Same-thread use-before-free sequences, one per helper function so
+    // main's flow state stays small: the load precedes the store of the
+    // doomed value, so only a flow-insensitive analysis connects them.
+    // Each is one extra Saber warning; Fsam's def-use order filter and
+    // Canary's order constraints both dismiss it.
+    for (i, _) in order_fps.iter().enumerate() {
+        f.call(&[], &format!("ofp_{i}"), &[]);
+        truth.infeasible_patterns += 1;
+    }
+
+    // Wait/notify handshakes: main frees only after the user signalled.
+    for i in 0..spec.handshake_patterns {
+        let cell = f.alloc(&format!("hcell_{i}"), &format!("hcell_o_{i}"));
+        let hv = f.alloc(&format!("hval_{i}"), &format!("hobj2_{i}"));
+        f.store(cell, hv);
+        let cv = f.alloc(&format!("hcv_{i}"), &format!("hcv_o_{i}"));
+        f.fork(&format!("ht_{i}"), &format!("hs_user_{i}"), &[cell, cv]);
+        f.wait(cv);
+        f.free(hv);
+        truth.infeasible_patterns += 1;
+    }
+
+    // Fork the filler workers.
+    for (j, _) in workers.iter().enumerate() {
+        let ca = cells[j % cells.len()];
+        let cb = cells[(j + 1) % cells.len()];
+        f.fork(&format!("t_{j}"), &format!("worker_{j}"), &[ca, cb]);
+    }
+    // Filler in main, via the chunk functions.
+    for k in 0..n_main_chunks {
+        f.call(&[], &format!("m_chunk_{k}"), &[]);
+    }
+    // Join half the workers, then read the cells.
+    for j in 0..spec.threads / 2 {
+        f.join(&format!("t_{j}"));
+    }
+    for (i, &c) in cells.iter().enumerate() {
+        let x = f.load(&format!("post_{i}"), c);
+        let _ = x;
+    }
+    // Release the cursor before opening the worker bodies.
+    let _ = f;
+
+    // --- worker bodies -------------------------------------------------
+    // Real code bases split work across many small functions; the
+    // filler follows suit with ~CHUNK-statement chunk functions. This
+    // also keeps per-function flow states small, which is what lets the
+    // sparse analysis stay near-linear (Fig. 8).
+    const CHUNK: usize = 96;
+    let per_worker = spec.target_stmts / (spec.threads + 1);
+    for (j, &w) in workers.iter().enumerate() {
+        // Declare this worker's chunk functions.
+        let n_chunks = (per_worker / CHUNK).max(1);
+        let chunk_ids: Vec<FuncId> = (0..n_chunks)
+            .map(|k| b.func(&format!("w{j}_chunk_{k}"), &["ca", "cb"]))
+            .collect();
+        for (k, &cf) in chunk_ids.iter().enumerate() {
+            let mut f = b.body(cf);
+            let ca = f.var("ca");
+            let cb = f.var("cb");
+            // Shared traffic under branch conditions — in a fraction of
+            // the chunks, as real modules touch shared state from a few
+            // sites, not from every function.
+            if k % 4 == 0 {
+                let cond = f.cond(&format!("w{j}_{k}_c"));
+                let mine = f.alloc(&format!("w{j}_{k}_obj"), &format!("wobj_{j}_{k}"));
+                f.if_else(
+                    CondExpr::atom(cond),
+                    |f| {
+                        f.store(cb, mine);
+                    },
+                    |f| {
+                        let x = f.load(&format!("w{j}_{k}_in"), ca);
+                        let _ = x;
+                    },
+                );
+            } else {
+                let _ = (ca, cb);
+            }
+            emit_alias_web(&mut f, j * 1000 + k, CHUNK / 2);
+            emit_filler(&mut f, &mut rng, &format!("w{j}_{k}"), CHUNK / 2);
+            f.ret(&[]);
+        }
+        let mut f = b.body(w);
+        let ca = f.var("ca");
+        let cb = f.var("cb");
+        // A helper call chain, then the chunk sequence.
+        f.call(&[], &format!("helper_{}", j % n_helpers), &[ca]);
+        for k in 0..n_chunks {
+            f.call(&[], &format!("w{j}_chunk_{k}"), &[ca, cb]);
+        }
+        f.ret(&[]);
+    }
+
+    b.set_entry(main);
+    let prog = b.finish();
+    Workload { prog, truth }
+}
+
+/// Emits a thread-private pointer web of roughly `budget` statements:
+/// cells seeded with values, then load/store rounds whose *addresses*
+/// travel through the shared `pick` helper. Flow- and path-sensitive
+/// per-call-site reasoning keeps each worker's web separate; a
+/// context-insensitive exhaustive analysis conflates all webs into one
+/// alias class, reproducing the §7.1 cost gap. The web never frees, so
+/// it cannot perturb ground truth.
+fn emit_alias_web(f: &mut FuncBody<'_>, worker: usize, budget: usize) {
+    let n_cells = (budget / 24).max(3);
+    let cells: Vec<VarId> = (0..n_cells)
+        .map(|k| f.alloc(&format!("w{worker}_web{k}"), &format!("w{worker}_webobj_{k}")))
+        .collect();
+    for (k, &c) in cells.iter().enumerate() {
+        let v = f.alloc(&format!("w{worker}_webv{k}"), &format!("w{worker}_webval_{k}"));
+        f.store(c, v);
+    }
+    let rounds = budget.saturating_sub(2 * n_cells) / 4;
+    for s in 0..rounds {
+        let a = cells[s % n_cells];
+        let bc = cells[(s * 3 + 1) % n_cells];
+        let d = cells[(s * 5 + 2) % n_cells];
+        let handle = f.call(&[&format!("w{worker}_h{s}")], "pick", &[a, bc]);
+        let t = f.load(&format!("w{worker}_t{s}"), handle[0]);
+        f.store(d, t);
+    }
+}
+
+/// Emits roughly `budget` filler statements into the cursor: private
+/// heap cells, copy/binop chains, branch diamonds and bounded loops.
+/// Filler never frees and never touches the seeded cells.
+fn emit_filler(f: &mut FuncBody<'_>, rng: &mut StdRng, tag: &str, budget: usize) {
+    let mut emitted = 0usize;
+    let mut chain: Option<VarId> = None;
+    let mut idx = 0usize;
+    while emitted < budget {
+        idx += 1;
+        match rng.gen_range(0..10u32) {
+            0..=2 => {
+                // Private cell round-trip: alloc, store, load.
+                let cell = f.alloc(&format!("{tag}_fc{idx}"), &format!("{tag}_fo{idx}"));
+                let v = f.alloc(&format!("{tag}_fv{idx}"), &format!("{tag}_fw{idx}"));
+                f.store(cell, v);
+                let x = f.load(&format!("{tag}_fl{idx}"), cell);
+                chain = Some(x);
+                emitted += 4;
+            }
+            3..=5 => {
+                // Copy/binop chain.
+                let base = match chain {
+                    Some(c) => c,
+                    None => f.alloc(&format!("{tag}_fb{idx}"), &format!("{tag}_fbo{idx}")),
+                };
+                let c1 = f.copy(&format!("{tag}_cc{idx}"), base);
+                let c2 = f.bin(
+                    &format!("{tag}_cb{idx}"),
+                    canary_ir::BinOp::Add,
+                    c1,
+                    base,
+                );
+                chain = Some(c2);
+                emitted += 2;
+            }
+            6..=7 => {
+                // Branch diamond with private work in both arms.
+                let c = f.cond(&format!("{tag}_bc{idx}"));
+                f.if_else(
+                    CondExpr::atom(c),
+                    |f| {
+                        let v = f.alloc(&format!("{tag}_ba{idx}"), &format!("{tag}_bao{idx}"));
+                        f.deref(v);
+                    },
+                    |f| {
+                        f.nop();
+                    },
+                );
+                emitted += 3;
+            }
+            8 => {
+                // A bounded loop (parse-time-unrolled equivalent).
+                let c = f.cond(&format!("{tag}_lc{idx}"));
+                f.while_unrolled(CondExpr::atom(c), 2, |f| {
+                    f.nop();
+                });
+                emitted += 2;
+            }
+            _ => {
+                f.nop();
+                emitted += 1;
+            }
+        }
+    }
+}

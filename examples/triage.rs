@@ -1,0 +1,103 @@
+//! Triage workflow: everything Canary gives you to *dispose* of a
+//! finding — confirmed reports with witness interleavings, refuted
+//! candidates with minimal unsat cores, and a memory-model sweep that
+//! shows which findings only exist under weaker hardware orderings.
+//!
+//! ```sh
+//! cargo run --example triage
+//! ```
+
+use canary::{Canary, CanaryConfig};
+use canary_detect::{BugKind, DetectOptions, MemoryModel};
+
+/// One shared cell, three outcomes: a real race, an order-protected
+/// free, and a guard-protected free.
+const MIXED: &str = r#"
+    fn main() {
+        cell = alloc c;
+        v1 = alloc payload1;
+        *cell = v1;
+        fork reader consume(cell);
+        free v1;                      // (1) races with the reader: REAL
+
+        v2 = alloc payload2;
+        fork reader2 consume2(v2);
+        join reader2;
+        free v2;                      // (2) join-ordered: SAFE
+
+        v3 = alloc payload3;
+        fork reader3 consume3(v3);
+        if (shutdown) {
+            free v3;                  // (3) guard-protected: SAFE
+        }
+    }
+    fn consume(slot) { x = *slot; use x; }
+    fn consume2(p) { use p; }
+    fn consume3(q) { if (!shutdown) { use q; } }
+"#;
+
+fn main() {
+    let canary = Canary::with_config(CanaryConfig {
+        checkers: vec![BugKind::UseAfterFree],
+        detect: DetectOptions {
+            explain_refutations: true,
+            ..DetectOptions::default()
+        },
+        ..CanaryConfig::default()
+    });
+    let prog = canary::ir::parse(MIXED).expect("example parses");
+    let outcome = canary.analyze(&prog);
+
+    println!("== confirmed ({} report) ==", outcome.reports.len());
+    println!("{}\n", outcome.render(&prog));
+    assert_eq!(outcome.reports.len(), 1);
+    assert!(
+        !outcome.reports[0].schedule.is_empty(),
+        "confirmed reports carry a witness interleaving"
+    );
+
+    println!("== refuted ({} candidates) ==", outcome.refuted.len());
+    for r in &outcome.refuted {
+        println!(
+            "  {} -> {}\n    why not: {}",
+            canary::ir::render_inst(&prog, r.source),
+            canary::ir::render_inst(&prog, r.sink),
+            r.core.join("  &  "),
+        );
+    }
+    assert_eq!(outcome.refuted.len(), 2, "{:?}", outcome.refuted);
+
+    // Memory-model sweep on a store-buffering-prone publication.
+    let sb = r#"
+        fn main() {
+            c = alloc cell;
+            bad = alloc victim;
+            *c = bad;
+            c2 = c;
+            good = alloc fresh;
+            *c2 = good;
+            free bad;
+            fork t w(c);
+        }
+        fn w(p) { y = *p; use y; }
+    "#;
+    println!("\n== memory-model sweep (store-buffering publication) ==");
+    for (name, model) in [
+        ("SC ", MemoryModel::Sc),
+        ("TSO", MemoryModel::Tso),
+        ("PSO", MemoryModel::Pso),
+    ] {
+        let canary = Canary::with_config(CanaryConfig {
+            checkers: vec![BugKind::UseAfterFree],
+            detect: DetectOptions {
+                memory_model: model,
+                ..DetectOptions::default()
+            },
+            ..CanaryConfig::default()
+        });
+        let n = canary.analyze_source(sb).expect("parses").reports.len();
+        println!("  {name}: {n} report(s)");
+    }
+    println!("  -> the stale publication is only observable under PSO's");
+    println!("     store-store reordering.");
+}

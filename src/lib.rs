@@ -1,0 +1,3 @@
+//! Facade crate re-exporting the Canary workspace.
+#![warn(missing_docs)]
+pub use canary_core::*;

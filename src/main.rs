@@ -1,0 +1,318 @@
+//! The `canary` command-line interface.
+//!
+//! ```text
+//! canary <program.cir> [options]
+//!
+//! options:
+//!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak
+//!                         (default: all four)
+//!   --inter-thread-only   report only witnesses spanning threads
+//!   --json                machine-readable output
+//!   --no-mhp              disable may-happen-in-parallel pruning
+//!   --no-sync             disable lock/wait constraint generation
+//!   --no-prefilter        disable the semi-decision prefilter
+//!   --memory-model MODEL  sc (default), tso or pso
+//!   --solver-threads N    parallel SMT query workers (default 1)
+//!   --unroll K            loop unrolling depth (default 2)
+//!   --stats               print per-phase metrics
+//! ```
+
+use std::process::ExitCode;
+
+use canary_core::{Canary, CanaryConfig};
+use canary_detect::{BugKind, MemoryModel};
+use canary_interference::InterferenceOptions;
+use canary_ir::ParseOptions;
+use canary_smt::SolverOptions;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
+         [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
+         [--memory-model sc|tso|pso] [--solver-threads N] [--unroll K] \
+         [--context-depth N] [--max-paths N] [--max-path-len N] \
+         [--tool canary|saber|fsam] [--explain] [--stats]"
+    );
+    std::process::exit(2);
+}
+
+enum Tool {
+    Canary,
+    Saber,
+    Fsam,
+}
+
+struct Cli {
+    file: String,
+    config: CanaryConfig,
+    json: bool,
+    stats: bool,
+    tool: Tool,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut file: Option<String> = None;
+    let mut config = CanaryConfig::default();
+    let mut json = false;
+    let mut stats = false;
+    let mut tool = Tool::Canary;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--checkers" => {
+                i += 1;
+                let Some(list) = args.get(i) else { usage() };
+                config.checkers = list
+                    .split(',')
+                    .map(|c| match c.trim() {
+                        "uaf" | "use-after-free" => BugKind::UseAfterFree,
+                        "doublefree" | "double-free" | "df" => BugKind::DoubleFree,
+                        "nullderef" | "null" => BugKind::NullDeref,
+                        "leak" | "taint" => BugKind::DataLeak,
+                        other => {
+                            eprintln!("unknown checker `{other}`");
+                            usage()
+                        }
+                    })
+                    .collect();
+            }
+            "--inter-thread-only" => config.detect.inter_thread_only = true,
+            "--explain" => config.detect.explain_refutations = true,
+            "--json" => json = true,
+            "--stats" => stats = true,
+            "--no-mhp" => {
+                config.interference = InterferenceOptions {
+                    use_mhp: false,
+                    ..config.interference
+                };
+            }
+            "--no-sync" => config.detect.sync_constraints = false,
+            "--no-prefilter" => {
+                config.detect.solver = SolverOptions {
+                    prefilter: false,
+                    ..config.detect.solver
+                };
+            }
+            "--memory-model" => {
+                i += 1;
+                let Some(m) = args.get(i) else { usage() };
+                config.detect.memory_model = match m.as_str() {
+                    "sc" => MemoryModel::Sc,
+                    "tso" => MemoryModel::Tso,
+                    "pso" => MemoryModel::Pso,
+                    other => {
+                        eprintln!("unknown memory model `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--solver-threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.detect.solver = SolverOptions {
+                    num_threads: n,
+                    ..config.detect.solver
+                };
+            }
+            "--tool" => {
+                i += 1;
+                let Some(t) = args.get(i) else { usage() };
+                tool = match t.as_str() {
+                    "canary" => Tool::Canary,
+                    "saber" => Tool::Saber,
+                    "fsam" => Tool::Fsam,
+                    other => {
+                        eprintln!("unknown tool `{other}`");
+                        usage()
+                    }
+                };
+            }
+            "--max-paths" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.detect.limits.max_paths = n;
+            }
+            "--max-path-len" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.detect.limits.max_len = n;
+            }
+            "--context-depth" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.context_depth = n;
+            }
+            "--unroll" => {
+                i += 1;
+                let Some(k) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.parse = ParseOptions { loop_unroll: k };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                usage()
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    usage()
+                }
+            }
+        }
+        i += 1;
+    }
+    let Some(file) = file else { usage() };
+    Cli {
+        file,
+        config,
+        json,
+        stats,
+        tool,
+    }
+}
+
+/// Runs a baseline tool and prints its unguarded findings.
+fn run_baseline(prog: &canary_ir::Program, tool: &Tool) -> ExitCode {
+    use canary_baselines::{fsam, saber, Budgeted, Deadline};
+    let result = match tool {
+        Tool::Saber => saber::check_uaf(prog, Deadline::none()),
+        Tool::Fsam => fsam::check_uaf(prog, Deadline::none()),
+        Tool::Canary => unreachable!("caller dispatches"),
+    };
+    match result {
+        Budgeted::Done(reports) => {
+            for r in &reports {
+                println!(
+                    "[unguarded] use-after-free: {} reaches {}",
+                    canary_ir::render_inst(prog, r.source),
+                    canary_ir::render_inst(prog, r.sink),
+                );
+            }
+            if reports.is_empty() {
+                println!("no findings");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Budgeted::TimedOut => {
+            eprintln!("baseline timed out");
+            ExitCode::from(3)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+    let src = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("canary: cannot read {}: {e}", cli.file);
+            return ExitCode::from(2);
+        }
+    };
+    let prog = match canary_ir::parse_with(&src, &cli.config.parse) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("canary: {}: {e}", cli.file);
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = prog.validate() {
+        eprintln!("canary: {}: invalid program: {e}", cli.file);
+        return ExitCode::from(2);
+    }
+    if !matches!(cli.tool, Tool::Canary) {
+        return run_baseline(&prog, &cli.tool);
+    }
+    let outcome = Canary::with_config(cli.config).analyze(&prog);
+    let prog = outcome.analyzed_program.as_ref().unwrap_or(&prog);
+    if cli.json {
+        let reports: Vec<serde_json::Value> = outcome
+            .reports
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "kind": r.kind.to_string(),
+                    "source": { "label": r.source.0,
+                                 "stmt": canary_ir::render_inst(prog, r.source),
+                                 "function": prog.func(prog.func_of(r.source)).name },
+                    "sink": { "label": r.sink.0,
+                               "stmt": canary_ir::render_inst(prog, r.sink),
+                               "function": prog.func(prog.func_of(r.sink)).name },
+                    "inter_thread": r.inter_thread,
+                    "path": r.path,
+                    "constraint": r.constraint,
+                    "witness_schedule": r.schedule.iter().map(|l| l.0).collect::<Vec<u32>>(),
+                })
+            })
+            .collect();
+        let m = &outcome.metrics;
+        let doc = serde_json::json!({
+            "file": cli.file,
+            "reports": reports,
+            "metrics": {
+                "statements": m.stmt_count,
+                "threads": m.thread_count,
+                "vfg_nodes": m.vfg_nodes,
+                "vfg_edges": m.vfg_edges,
+                "interference_edges": m.interference_edges,
+                "escaped_objects": m.escaped_objects,
+                "candidate_paths": m.detect.candidate_paths,
+                "smt_queries": m.detect.queries,
+                "time_dataflow_ms": m.t_dataflow.as_secs_f64() * 1e3,
+                "time_interference_ms": m.t_interference.as_secs_f64() * 1e3,
+                "time_detect_ms": m.t_detect.as_secs_f64() * 1e3,
+            },
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("valid json"));
+    } else {
+        if outcome.reports.is_empty() {
+            println!("canary: no bugs found in {}", cli.file);
+        } else {
+            println!("{}", outcome.render(prog));
+        }
+        for r in &outcome.refuted {
+            println!(
+                "[refuted] {} candidate: {} -> {}\n  unsat core: {}",
+                r.kind,
+                canary_ir::render_inst(prog, r.source),
+                canary_ir::render_inst(prog, r.sink),
+                r.core.join("  &  "),
+            );
+        }
+        if cli.stats {
+            let m = &outcome.metrics;
+            println!(
+                "\nstats: {} stmts, {} threads | vfg {} nodes / {} edges \
+                 ({} interference) | {} escaped objects | {} paths, {} queries | \
+                 dataflow {:.1} ms, interference {:.1} ms, detect {:.1} ms",
+                m.stmt_count,
+                m.thread_count,
+                m.vfg_nodes,
+                m.vfg_edges,
+                m.interference_edges,
+                m.escaped_objects,
+                m.detect.candidate_paths,
+                m.detect.queries,
+                m.t_dataflow.as_secs_f64() * 1e3,
+                m.t_interference.as_secs_f64() * 1e3,
+                m.t_detect.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    if outcome.reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,269 @@
+//! A scenario matrix across all four checkers: each cell pairs a buggy
+//! program with its closest safe variant, so every report the engine
+//! emits is balanced by a refutation the engine must also get right.
+
+use canary::{Canary, CanaryConfig};
+use canary_detect::{BugKind, DetectOptions};
+
+fn reports(src: &str, kind: BugKind) -> usize {
+    let canary = Canary::with_config(CanaryConfig {
+        checkers: vec![kind],
+        ..CanaryConfig::default()
+    });
+    canary.analyze_source(src).expect("test program parses").reports.len()
+}
+
+mod use_after_free {
+    use super::*;
+
+    #[test]
+    fn racy_fork_reported() {
+        let src = "fn main() { p = alloc o; fork t w(p); free p; }
+                   fn w(q) { use q; }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn join_protected_safe() {
+        let src = "fn main() { p = alloc o; fork t w(p); join t; free p; }
+                   fn w(q) { use q; }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 0);
+    }
+
+    #[test]
+    fn free_through_heap_alias_reported() {
+        // The freed pointer travels through shared memory before the use.
+        let src = "fn main() {
+                       cell = alloc c; v = alloc o; *cell = v;
+                       fork t w(cell);
+                       free v;
+                   }
+                   fn w(slot) { x = *slot; use x; }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn overwritten_before_load_safe() {
+        // A fresh value strongly overwrites the cell before the only load.
+        let src = "fn main() {
+                       cell = alloc c; v = alloc o; *cell = v;
+                       free v;
+                       w2 = alloc o2; *cell = w2;
+                       x = *cell; use x;
+                   }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 0);
+    }
+
+    #[test]
+    fn disjunctive_alias_guards_keep_recall() {
+        // The store reaches the cell through either of two aliases,
+        // one per branch arm; the free fires in the ¬c1 arm. The
+        // pointed-to-by guard must be the *disjunction* over both arms
+        // (c1 ∨ ¬c1 = true), or the ¬c1 path would be wrongly refuted.
+        let src = "fn main() {
+                       cell = alloc c; v = alloc o;
+                       if (c1) { p = cell; *p = v; }
+                       else { q = cell; *q = v; }
+                       fork t w(cell);
+                       if (!c1) { free v; }
+                   }
+                   fn w(s) { x = *s; use x; }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 1);
+    }
+
+    #[test]
+    fn contradictory_guards_safe() {
+        let src = "fn main() {
+                       cell = alloc c; v = alloc o; *cell = v;
+                       fork t w(cell);
+                       if (g1) { free v; }
+                   }
+                   fn w(slot) { if (!g1) { x = *slot; use x; } }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 0);
+    }
+
+    #[test]
+    fn guard_on_sink_as_first_statement_is_honored() {
+        // The victim's dereference is its function's *first* statement
+        // and guarded by ¬shutdown; the free is guarded by shutdown.
+        // The sink's path condition must reach the constraint even
+        // though the parameter anchor and the sink node coincide.
+        let src = "fn main() {
+                       v = alloc o;
+                       fork t w(v);
+                       if (shutdown) { free v; }
+                   }
+                   fn w(q) { if (!shutdown) { use q; } }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 0);
+    }
+
+    #[test]
+    fn same_polarity_guards_reported() {
+        let src = "fn main() {
+                       cell = alloc c; v = alloc o; *cell = v;
+                       fork t w(cell);
+                       if (g1) { free v; }
+                   }
+                   fn w(slot) { if (g1) { x = *slot; use x; } }";
+        assert_eq!(reports(src, BugKind::UseAfterFree), 1);
+    }
+}
+
+mod double_free {
+    use super::*;
+
+    #[test]
+    fn two_threads_reported() {
+        let src = "fn main() { p = alloc o; fork t w(p); free p; }
+                   fn w(q) { free q; }";
+        assert_eq!(reports(src, BugKind::DoubleFree), 1);
+    }
+
+    #[test]
+    fn branch_exclusive_safe() {
+        let src = "fn main() { p = alloc o; if (c) { free p; } else { q = p; free q; } }";
+        assert_eq!(reports(src, BugKind::DoubleFree), 0);
+    }
+
+    #[test]
+    fn sequential_same_pointer_reported() {
+        let src = "fn main() { p = alloc o; q = p; free p; free q; }";
+        assert_eq!(reports(src, BugKind::DoubleFree), 1);
+    }
+
+    #[test]
+    fn distinct_objects_safe() {
+        let src = "fn main() { p = alloc o1; q = alloc o2; free p; free q; }";
+        assert_eq!(reports(src, BugKind::DoubleFree), 0);
+    }
+}
+
+mod null_deref {
+    use super::*;
+
+    #[test]
+    fn cross_thread_sentinel_reported() {
+        let src = "fn main() {
+                       q = alloc slot; m = alloc msg; *q = m;
+                       fork t w(q);
+                       n = null; *q = n;
+                   }
+                   fn w(s) { x = *s; use x; }";
+        assert_eq!(reports(src, BugKind::NullDeref), 1);
+    }
+
+    #[test]
+    fn overwritten_null_safe() {
+        let src = "fn main() {
+                       q = alloc slot;
+                       n = null; *q = n;
+                       m = alloc msg; *q = m;
+                       x = *q; use x;
+                   }";
+        assert_eq!(reports(src, BugKind::NullDeref), 0);
+    }
+
+    #[test]
+    fn direct_null_use_reported() {
+        let src = "fn main() { n = null; use n; }";
+        assert_eq!(reports(src, BugKind::NullDeref), 1);
+    }
+
+    #[test]
+    fn guarded_null_publication_safe() {
+        let src = "fn main() {
+                       q = alloc slot; m = alloc msg; *q = m;
+                       fork t w(q);
+                       if (down) { n = null; *q = n; }
+                   }
+                   fn w(s) { if (!down) { x = *s; use x; } }";
+        assert_eq!(reports(src, BugKind::NullDeref), 0);
+    }
+}
+
+mod data_leak {
+    use super::*;
+
+    #[test]
+    fn cross_thread_leak_reported() {
+        let src = "fn main() {
+                       q = alloc slot; s = taint; *q = s;
+                       fork t w(q);
+                   }
+                   fn w(c) { x = *c; sink x; }";
+        assert_eq!(reports(src, BugKind::DataLeak), 1);
+    }
+
+    #[test]
+    fn clean_value_safe() {
+        let src = "fn main() {
+                       q = alloc slot; v = alloc pub_data; *q = v;
+                       fork t w(q);
+                   }
+                   fn w(c) { x = *c; sink x; }";
+        assert_eq!(reports(src, BugKind::DataLeak), 0);
+    }
+
+    #[test]
+    fn leak_through_copy_chain_reported() {
+        let src = "fn main() { s = taint; a = s; b = a; sink b; }";
+        assert_eq!(reports(src, BugKind::DataLeak), 1);
+    }
+
+    #[test]
+    fn overwritten_secret_safe() {
+        let src = "fn main() {
+                       q = alloc slot; s = taint; *q = s;
+                       v = alloc pub_data; *q = v;
+                       x = *q; sink x;
+                   }";
+        assert_eq!(reports(src, BugKind::DataLeak), 0);
+    }
+}
+
+mod config_behaviour {
+    use super::*;
+
+    #[test]
+    fn inter_thread_only_suppresses_sequential() {
+        let canary = Canary::with_config(CanaryConfig {
+            checkers: vec![BugKind::UseAfterFree],
+            detect: DetectOptions {
+                inter_thread_only: true,
+                ..DetectOptions::default()
+            },
+            ..CanaryConfig::default()
+        });
+        let seq = canary
+            .analyze_source("fn main() { p = alloc o; free p; use p; }")
+            .unwrap();
+        assert!(seq.reports.is_empty());
+        let conc = canary
+            .analyze_source(
+                "fn main() { p = alloc o; fork t w(p); free p; }
+                 fn w(q) { use q; }",
+            )
+            .unwrap();
+        assert_eq!(conc.reports.len(), 1);
+    }
+
+    #[test]
+    fn all_four_checkers_fire_on_one_program() {
+        let src = "fn main() {
+                       p = alloc o; q = p;
+                       fork t w(p);
+                       free p;
+                       free q;
+                       n = null; use n;
+                       s = taint; sink s;
+                   }
+                   fn w(x) { use x; }";
+        let outcome = Canary::new().analyze_source(src).unwrap();
+        let kinds: std::collections::HashSet<_> =
+            outcome.reports.iter().map(|r| r.kind).collect();
+        assert!(kinds.contains(&BugKind::UseAfterFree), "{kinds:?}");
+        assert!(kinds.contains(&BugKind::DoubleFree), "{kinds:?}");
+        assert!(kinds.contains(&BugKind::NullDeref), "{kinds:?}");
+        assert!(kinds.contains(&BugKind::DataLeak), "{kinds:?}");
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end tests of the `canary` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn canary_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_canary"))
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("canary-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(src.as_bytes()).unwrap();
+    path
+}
+
+const RACY: &str = "fn main() { p = alloc o; fork t w(p); free p; }\nfn w(q) { use q; }\n";
+const CLEAN: &str = "fn main() { p = alloc o; fork t w(p); join t; free p; }\nfn w(q) { use q; }\n";
+
+#[test]
+fn reports_bug_with_exit_code_one() {
+    let path = write_temp("racy.cir", RACY);
+    let out = canary_bin().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("use-after-free"), "{stdout}");
+    assert!(stdout.contains("inter-thread"), "{stdout}");
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let path = write_temp("clean.cir", CLEAN);
+    let out = canary_bin().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no bugs found"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_parseable() {
+    let path = write_temp("racy_json.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(doc["reports"].as_array().unwrap().len(), 1);
+    assert_eq!(doc["reports"][0]["kind"], "use-after-free");
+    assert_eq!(doc["reports"][0]["inter_thread"], true);
+    assert!(doc["metrics"]["statements"].as_u64().unwrap() >= 4);
+}
+
+#[test]
+fn checker_selection_is_respected() {
+    let path = write_temp("racy_leak_only.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--checkers", "leak"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "leak checker finds nothing");
+}
+
+#[test]
+fn stats_flag_prints_metrics() {
+    let path = write_temp("racy_stats.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--stats").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stats:"), "{stdout}");
+    assert!(stdout.contains("vfg"), "{stdout}");
+}
+
+#[test]
+fn memory_model_flag_accepted() {
+    let path = write_temp("racy_pso.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--memory-model", "pso"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn baseline_tools_run_from_cli() {
+    // The order-insensitive baseline reports even use-before-free.
+    let path = write_temp("ubf.cir", "fn main() { p = alloc o; use p; free p; }\n");
+    let saber = canary_bin()
+        .arg(&path)
+        .args(["--tool", "saber"])
+        .output()
+        .unwrap();
+    assert_eq!(saber.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&saber.stdout);
+    assert!(stdout.contains("unguarded"), "{stdout}");
+    // Canary itself refutes it.
+    let canary = canary_bin().arg(&path).output().unwrap();
+    assert_eq!(canary.status.code(), Some(0));
+}
+
+#[test]
+fn path_limit_flags_accepted() {
+    let path = write_temp("racy_limits.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--max-paths", "4", "--max-path-len", "16"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn parse_error_exits_two() {
+    let path = write_temp("broken.cir", "fn main() {");
+    let out = canary_bin().arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = canary_bin().arg("/nonexistent/x.cir").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    let path = write_temp("racy2.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unroll_flag_changes_bounding() {
+    let src = "fn main() { p = alloc o; while (c) { use p; } free p; }";
+    let path = write_temp("loop.cir", src);
+    for (unroll, expect_derefs) in [("1", 1u64), ("4", 4u64)] {
+        let out = canary_bin()
+            .arg(&path)
+            .args(["--unroll", unroll, "--json", "--checkers", "leak"])
+            .output()
+            .unwrap();
+        let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        let stmts = doc["metrics"]["statements"].as_u64().unwrap();
+        // alloc + free + `use` per unrolled copy.
+        assert_eq!(stmts, 2 + expect_derefs, "unroll {unroll}");
+    }
+}

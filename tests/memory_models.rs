@@ -1,0 +1,142 @@
+//! Tests for the §9 relaxed-memory extension: program-order constraints
+//! weaken monotonically SC → TSO → PSO, so report sets only ever grow.
+
+use canary::{Canary, CanaryConfig};
+use canary_detect::{BugKind, DetectOptions, MemoryModel};
+
+fn reports_under(src: &str, model: MemoryModel) -> Vec<(u32, u32)> {
+    let canary = Canary::with_config(CanaryConfig {
+        checkers: vec![BugKind::UseAfterFree],
+        detect: DetectOptions {
+            memory_model: model,
+            ..DetectOptions::default()
+        },
+        ..CanaryConfig::default()
+    });
+    canary
+        .analyze_source(src)
+        .expect("test program parses")
+        .reports
+        .iter()
+        .map(|r| (r.source.0, r.sink.0))
+        .collect()
+}
+
+/// The store-buffering-style discriminator: a freed value is published,
+/// then *overwritten through a second alias* before the reader thread
+/// starts. Under SC (and TSO) the overwrite is ordered before every
+/// read, so the stale freed value can never be observed. Under PSO the
+/// two stores go to (syntactically) different locations and may
+/// reorder: the reader can see the freed value.
+const PSO_DISCRIMINATOR: &str = r#"
+    fn main() {
+        c = alloc cell;
+        bad = alloc victim;
+        *c = bad;           // S2: publish the doomed pointer
+        c2 = c;             // second alias of the same cell
+        good = alloc fresh;
+        *c2 = good;         // S1: overwrite before anyone reads
+        free bad;           // F
+        fork t w(c);
+    }
+    fn w(p) {
+        y = *p;             // can only see `good`… under SC/TSO
+        use y;
+    }
+"#;
+
+#[test]
+fn sc_refutes_the_store_buffering_uaf() {
+    assert!(reports_under(PSO_DISCRIMINATOR, MemoryModel::Sc).is_empty());
+}
+
+#[test]
+fn tso_still_refutes_store_store_reordering() {
+    // TSO keeps store→store order; only PSO relaxes it.
+    assert!(reports_under(PSO_DISCRIMINATOR, MemoryModel::Tso).is_empty());
+}
+
+#[test]
+fn pso_reports_the_store_buffering_uaf() {
+    let reports = reports_under(PSO_DISCRIMINATOR, MemoryModel::Pso);
+    assert_eq!(reports.len(), 1, "{reports:?}");
+}
+
+/// A same-location overwrite is ordered under every model: using the
+/// *same* address variable for both stores must stay refuted even
+/// under PSO.
+#[test]
+fn pso_keeps_same_location_store_order() {
+    let src = r#"
+        fn main() {
+            c = alloc cell;
+            bad = alloc victim;
+            *c = bad;
+            good = alloc fresh;
+            *c = good;          // same address variable: ordered
+            free bad;
+            fork t w(c);
+        }
+        fn w(p) {
+            y = *p;
+            use y;
+        }
+    "#;
+    assert!(reports_under(src, MemoryModel::Pso).is_empty());
+}
+
+/// Monotonicity on ordinary programs: everything SC reports, TSO and
+/// PSO also report.
+#[test]
+fn relaxation_is_monotone() {
+    for src in [
+        "fn main() { p = alloc o; fork t w(p); free p; }
+         fn w(q) { use q; }",
+        "fn main() { p = alloc o; free p; use p; }",
+        "fn main() { p = alloc o; fork t w(p); join t; free p; }
+         fn w(q) { use q; }",
+    ] {
+        let sc = reports_under(src, MemoryModel::Sc);
+        let tso = reports_under(src, MemoryModel::Tso);
+        let pso = reports_under(src, MemoryModel::Pso);
+        for r in &sc {
+            assert!(tso.contains(r), "TSO must keep SC report {r:?}");
+        }
+        for r in &tso {
+            assert!(pso.contains(r), "PSO must keep TSO report {r:?}");
+        }
+    }
+}
+
+/// Fork/join synchronization survives relaxation: the join-protected
+/// free stays safe under PSO.
+#[test]
+fn join_protection_survives_pso() {
+    let src = "fn main() { p = alloc o; fork t w(p); join t; free p; }
+               fn w(q) { use q; }";
+    assert!(reports_under(src, MemoryModel::Pso).is_empty());
+}
+
+/// The relaxed models also keep the Fig. 2 branch-condition refutation:
+/// guards are orthogonal to memory ordering.
+#[test]
+fn fig2_refutation_survives_relaxation() {
+    let src = r#"
+        fn main(a) {
+            x = alloc o1;
+            *x = a;
+            fork t thread1(x);
+            if (theta1) { c = *x; use c; }
+        }
+        fn thread1(y) {
+            b = alloc o2;
+            if (!theta1) { *y = b; free b; }
+        }
+    "#;
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        assert!(
+            reports_under(src, model).is_empty(),
+            "model {model:?} must keep the guard refutation"
+        );
+    }
+}

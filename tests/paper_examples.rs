@@ -1,0 +1,147 @@
+//! End-to-end reproductions of the programs discussed in the paper's
+//! §2 and §3 (Fig. 2 and Fig. 5), checked through the public facade.
+
+use canary::{Canary, CanaryConfig};
+use canary_detect::BugKind;
+use canary_ir::{parse, CallGraph, OrderGraph};
+
+const FIG2: &str = r#"
+    fn main(a) {
+        x = alloc o1;
+        *x = a;
+        fork t thread1(x);
+        if (theta1) {
+            c = *x;
+            use c;
+        }
+    }
+    fn thread1(y) {
+        b = alloc o2;
+        if (!theta1) {
+            *y = b;
+            free b;
+        }
+    }
+"#;
+
+#[test]
+fn fig2_is_not_reported() {
+    let outcome = Canary::new().analyze_source(FIG2).unwrap();
+    assert!(
+        outcome.reports.is_empty(),
+        "the contradictory guards must refute the path: {:?}",
+        outcome.reports
+    );
+    // But the machinery did find the candidate flow.
+    assert!(outcome.metrics.interference_edges >= 1);
+    assert!(outcome.metrics.escaped_objects >= 2, "o1 and o2 escape");
+}
+
+#[test]
+fn fig2_with_same_polarity_guards_is_reported() {
+    // If both sides run under θ1, the conditions agree and the bug is
+    // realizable.
+    let src = FIG2.replace("!theta1", "theta1");
+    let outcome = Canary::new().analyze_source(&src).unwrap();
+    assert!(
+        outcome
+            .reports
+            .iter()
+            .any(|r| r.kind == BugKind::UseAfterFree && r.inter_thread),
+        "{:?}",
+        outcome.reports
+    );
+}
+
+#[test]
+fn fig2_report_is_concise() {
+    let src = FIG2.replace("!theta1", "theta1");
+    let prog = parse(&src).unwrap();
+    let outcome = Canary::new().analyze(&prog);
+    let report = &outcome.reports[0];
+    // §1: "concise bug reports with a limited number of relevant
+    // statements" — the witness path stays in single digits.
+    assert!(report.path.len() <= 8, "{:?}", report.path);
+    let text = report.render(&prog);
+    assert!(text.contains("use-after-free"));
+    assert!(text.contains("thread1"));
+}
+
+/// Fig. 5(b): the value-flow path ⟨a@ℓ2, b@ℓ3, b@ℓ4, a@ℓ1⟩ violates
+/// program order; the partial-order constraints must refute it. We
+/// reproduce the essence at the API level: a flow that would need a
+/// statement to execute before its own thread's earlier statement is
+/// never reported.
+#[test]
+fn fig5b_program_order_violation_pruned() {
+    // t2 copies q=p then loads c=*q *before* t1 stores; the only way
+    // free(d) reaches use(c) would reverse t2's program order.
+    let src = r#"
+        fn main() {
+            p = alloc cell;
+            seed = alloc s0;
+            *p = seed;
+            fork t1 writer(p);
+        }
+        fn writer(w) {
+            d = alloc s1;
+            c = *w;
+            use c;
+            *w = d;
+            free d;
+        }
+    "#;
+    let outcome = Canary::new().analyze_source(src).unwrap();
+    // The load happens before the store in the same thread, so the
+    // freed value can never reach it.
+    assert!(
+        outcome
+            .reports
+            .iter()
+            .all(|r| r.kind != BugKind::UseAfterFree),
+        "{:?}",
+        outcome.reports
+    );
+}
+
+/// Fig. 5(a)'s lesson at the order-graph level: loads and stores in
+/// different threads are unordered (any interleaving), while fork/join
+/// impose real order.
+#[test]
+fn fig5a_order_relations() {
+    let prog = parse(
+        "fn main() { p = alloc cell; fork t1 w1(p); fork t2 w2(p); }
+         fn w1(x) { a = alloc oa; *x = a; }
+         fn w2(y) { b = *y; use b; }",
+    )
+    .unwrap();
+    let cg = CallGraph::build(&prog);
+    let og = OrderGraph::build(&prog, &cg);
+    let store = prog
+        .labels()
+        .find(|&l| matches!(prog.inst(l), canary_ir::Inst::Store { .. }))
+        .unwrap();
+    let load = prog
+        .labels()
+        .find(|&l| matches!(prog.inst(l), canary_ir::Inst::Load { .. }))
+        .unwrap();
+    assert_eq!(og.program_order(store, load), None, "racy pair unordered");
+    // And the interleaving is actually reported as a flow: the store
+    // may feed the load.
+    let outcome = Canary::new().analyze(&prog);
+    assert!(outcome.metrics.interference_edges >= 1);
+}
+
+/// The paper's workflow diagram (Fig. 1): all three stages produce
+/// observable artifacts on one pass.
+#[test]
+fn fig1_pipeline_stages_all_report_metrics() {
+    let outcome = Canary::with_config(CanaryConfig::default())
+        .analyze_source(FIG2)
+        .unwrap();
+    let m = &outcome.metrics;
+    assert!(m.vfg_nodes > 0, "data dependence stage ran");
+    assert!(m.interference_edges > 0, "interference stage ran");
+    assert!(m.detect.candidate_paths > 0, "source-sink stage ran");
+    assert!(m.t_total() >= m.t_vfg());
+}
