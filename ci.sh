@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI gate: build, test, lint, then re-run the whole test suite with the
+# parallel front-end enabled (CANARY_TEST_THREADS overrides the default
+# worker count) — the determinism guarantee means both passes must see
+# byte-identical analysis output.
+set -eux
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+cargo clippy --workspace --offline -- -D warnings
+CANARY_TEST_THREADS=2 cargo test -q --workspace --offline

@@ -1,0 +1,28 @@
+//! Runnable copy of the thread-scaling smoke check (the criterion
+//! bench file carries the same assertion, but `harness = false` targets
+//! never execute `#[test]`s under `cargo test`).
+
+#[test]
+fn front_end_thread_sweep_stays_within_budget() {
+    canary_bench::assert_thread_scaling_sane();
+}
+
+#[test]
+fn front_end_metrics_expose_scheduling_shape() {
+    use canary_bench::measure_front_end;
+    use canary_workloads::{generate, WorkloadSpec};
+    let w = generate(&WorkloadSpec::small(0xF168));
+    let serial = measure_front_end(&w, 1);
+    let par = measure_front_end(&w, 4);
+    assert_eq!(serial.worker_threads, 1);
+    assert_eq!(par.worker_threads, 4);
+    assert!(serial.dataflow_phase.tasks > 0, "Alg. 1 ran at least one task");
+    assert!(par.interference_phase.tasks > 0, "Alg. 2 sharded at least one item");
+    // Determinism: worker count must not move a single structural fact.
+    assert_eq!(serial.dataflow_phase.tasks, par.dataflow_phase.tasks);
+    assert_eq!(serial.interference_phase.tasks, par.interference_phase.tasks);
+    assert_eq!(serial.vfg_nodes, par.vfg_nodes);
+    assert_eq!(serial.vfg_edges, par.vfg_edges);
+    assert_eq!(serial.interference_edges, par.interference_edges);
+    assert_eq!(serial.term_count, par.term_count);
+}

@@ -73,6 +73,13 @@ pub struct CanaryConfig {
     /// is rewritten before analysis and reports reference the rewritten
     /// labels (the transformed program travels in the outcome).
     pub context_depth: usize,
+    /// Worker threads for the parallel front-end (level-parallel Alg. 1
+    /// tasks, sharded Alg. 2 rounds) and, unless overridden there, the
+    /// SMT portfolio. Every phase is deterministic: output is
+    /// byte-identical for any value, threads only change wall time.
+    /// Defaults to `1`, or to `CANARY_TEST_THREADS` when set (so test
+    /// suites can sweep worker counts without code changes).
+    pub threads: usize,
 }
 
 impl Default for CanaryConfig {
@@ -88,8 +95,32 @@ impl Default for CanaryConfig {
                 BugKind::DataLeak,
             ],
             context_depth: 0,
+            threads: default_threads(),
         }
     }
+}
+
+/// The default worker count: `CANARY_TEST_THREADS` when set and valid,
+/// else 1 (serial).
+fn default_threads() -> usize {
+    std::env::var("CANARY_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Wall time and scheduling shape of one parallel phase, for the
+/// scaling charts in `crates/bench`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseStats {
+    /// Wall-clock time of the phase.
+    pub wall: Duration,
+    /// Worker threads the phase was configured with.
+    pub workers: usize,
+    /// Independent work items the phase executed (call-graph SCC tasks
+    /// for Alg. 1; `Pted` sweeps plus per-load scans for Alg. 2).
+    pub tasks: usize,
 }
 
 /// Per-run measurements, the raw material for the Fig. 7/8 harnesses.
@@ -119,6 +150,12 @@ pub struct Metrics {
     pub t_detect: Duration,
     /// Candidate paths / SMT queries / confirmed reports.
     pub detect: DetectStats,
+    /// Worker threads the front-end ran with.
+    pub worker_threads: usize,
+    /// Scheduling shape of the Alg. 1 phase.
+    pub dataflow_phase: PhaseStats,
+    /// Scheduling shape of the Alg. 2 phase.
+    pub interference_phase: PhaseStats,
 }
 
 impl Metrics {
@@ -251,7 +288,11 @@ impl Canary {
         let mut metrics = metrics0;
 
         let t0 = Instant::now();
-        let ctx = DetectContext::new(prog, &ts, &mhp, &df, &self.config.detect);
+        // One `threads` knob rules the whole pipeline: lift it into the
+        // SMT portfolio too, unless the solver was tuned separately.
+        let mut detect_opts = self.config.detect.clone();
+        detect_opts.solver.num_threads = detect_opts.solver.num_threads.max(self.config.threads.max(1));
+        let ctx = DetectContext::new(prog, &ts, &mhp, &df, &detect_opts);
         let mut stats = DetectStats::default();
         let mut reports = Vec::new();
         let mut refuted = Vec::new();
@@ -260,7 +301,7 @@ impl Canary {
                 &ctx,
                 &mut pool,
                 kind,
-                &self.config.detect,
+                &detect_opts,
                 &mut stats,
             );
             reports.extend(rs);
@@ -291,9 +332,11 @@ impl Canary {
         ThreadStructure,
         Metrics,
     ) {
+        let threads = self.config.threads.max(1);
         let mut metrics = Metrics {
             stmt_count: prog.stmt_count(),
             thread_count: prog.threads.len(),
+            worker_threads: threads,
             ..Metrics::default()
         };
         let mut pool = TermPool::new();
@@ -301,20 +344,27 @@ impl Canary {
         let t0 = Instant::now();
         let cg = CallGraph::build(prog);
         let ts = ThreadStructure::compute(prog, &cg);
-        let mut df = canary_dataflow::run(prog, &cg, &mut pool);
+        let mut df = canary_dataflow::run_with(prog, &cg, &mut pool, threads);
         metrics.t_dataflow = t0.elapsed();
+        metrics.dataflow_phase = PhaseStats {
+            wall: metrics.t_dataflow,
+            workers: threads,
+            tasks: df.tasks,
+        };
 
         let t1 = Instant::now();
         let mhp = MhpAnalysis::new(prog, &cg, &ts);
-        let ir_result = canary_interference::run(
-            prog,
-            &ts,
-            &mhp,
-            &mut df,
-            &mut pool,
-            &self.config.interference,
-        );
+        // The pipeline-wide knob drives the interference shards unless
+        // the phase options already ask for more.
+        let mut iopts = self.config.interference.clone();
+        iopts.threads = iopts.threads.max(threads);
+        let ir_result = canary_interference::run(prog, &ts, &mhp, &mut df, &mut pool, &iopts);
         metrics.t_interference = t1.elapsed();
+        metrics.interference_phase = PhaseStats {
+            wall: metrics.t_interference,
+            workers: iopts.threads,
+            tasks: ir_result.tasks,
+        };
         drop(mhp);
 
         metrics.vfg_nodes = df.vfg.node_count();

@@ -9,13 +9,32 @@
 //! ([`Sym::Param`], [`Sym::DerefParam`]); fork sites transfer *no*
 //! summary (Alg. 1 lines 23–24) — inter-thread effects are the business
 //! of the interference analysis.
+//!
+//! # Parallel execution
+//!
+//! The bottom-up walk is scheduled level by level over
+//! [`CallGraph::bottom_up_levels`]: call-graph SCCs whose callees all
+//! sit in lower levels form one level's tasks and are mutually
+//! independent, so [`run_with`] fans them out across a worker pool.
+//! Each task analyzes its functions against *frozen* level-start state
+//! — shared points-to sets, the published summary table, the base term
+//! pool and VFG — and accumulates every side effect locally
+//! ([`canary_smt::ScratchPool`], [`canary_vfg::VfgScratch`], a
+//! points-to overlay, private summaries). Task outputs are then
+//! committed in task order. Because a task's output is a pure function
+//! of the level-start state and the commit order is fixed, the final
+//! result — term ids, VFG numbering, report output — is byte-identical
+//! for any worker count; `threads == 1` runs the very same task/commit
+//! machinery inline.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use canary_ir::{CallGraph, FuncId, Inst, Label, Program, Terminator, VarId};
-use canary_smt::{TermId, TermPool};
-use canary_vfg::{EdgeKind, NodeId, Vfg};
+use canary_smt::{ScratchLog, ScratchPool, TermBuild, TermId, TermPool, TermRemap};
+use canary_vfg::{EdgeKind, NodeId, Vfg, VfgLog, VfgScratch};
+use parking_lot::RwLock;
 
+use crate::exec;
 use crate::pathcond::PathConditions;
 use crate::symbols::{insert_guarded, CellSet, Guarded, MemKey, MemVal, PtsSet, Sym};
 
@@ -89,6 +108,9 @@ pub struct DataflowResult {
     pub def_site: Vec<Option<Label>>,
     /// Per-function summaries.
     pub summaries: Vec<FuncSummary>,
+    /// Number of scheduler tasks (call-graph SCCs) executed — the unit
+    /// the per-phase metrics report.
+    pub tasks: usize,
 }
 
 impl DataflowResult {
@@ -99,72 +121,259 @@ impl DataflowResult {
     }
 }
 
-/// Runs Algorithm 1 over the whole program.
+/// Runs Algorithm 1 over the whole program on the calling thread.
+///
+/// Identical to [`run_with`] at one worker — the serial path *is* the
+/// parallel path, so results are comparable byte-for-byte.
 pub fn run(prog: &Program, cg: &CallGraph, pool: &mut TermPool) -> DataflowResult {
+    run_with(prog, cg, pool, 1)
+}
+
+/// Runs Algorithm 1 with up to `threads` workers analyzing independent
+/// call-graph SCCs of each bottom-up level concurrently.
+///
+/// Output is guaranteed byte-identical across `threads` values: worker
+/// scheduling affects only wall time, never term ids, VFG numbering, or
+/// any downstream report.
+pub fn run_with(
+    prog: &Program,
+    cg: &CallGraph,
+    pool: &mut TermPool,
+    threads: usize,
+) -> DataflowResult {
     let path_conds = PathConditions::compute(prog, pool);
-    let mut a = Analyzer {
-        prog,
-        cg,
-        pool,
-        pc: path_conds,
+    let def_site = compute_def_sites(prog);
+    let mut shared = Shared {
         vfg: Vfg::new(),
         pgtop: vec![Vec::new(); prog.vars.len()],
-        def_site: vec![None; prog.vars.len()],
         stores: Vec::new(),
         loads: Vec::new(),
-        summaries: vec![FuncSummary::default(); prog.funcs.len()],
+        summaries: RwLock::new(vec![FuncSummary::default(); prog.funcs.len()]),
         analyzed: vec![false; prog.funcs.len()],
     };
-    a.compute_def_sites();
-    for f in cg.bottom_up.clone() {
-        a.analyze_func(f);
-        a.analyzed[f.index()] = true;
+    let mut tasks = 0;
+    for level in cg.bottom_up_levels() {
+        tasks += level.len();
+        // Fan the level's tasks out against frozen state; reborrows end
+        // with the block, handing exclusive access back to the commits.
+        let outs = {
+            let shared_ref = &shared;
+            let frozen: &TermPool = pool;
+            let pc = &path_conds;
+            let ds = &def_site;
+            exec::run_indexed(level.len(), threads, |i| {
+                run_task(prog, cg, pc, ds, shared_ref, frozen, &level[i])
+            })
+        };
+        for out in outs {
+            commit_task(&mut shared, pool, out);
+        }
     }
     DataflowResult {
-        vfg: a.vfg,
-        pgtop: a.pgtop,
-        path_conds: a.pc,
-        stores: a.stores,
-        loads: a.loads,
-        def_site: a.def_site,
-        summaries: a.summaries,
+        vfg: shared.vfg,
+        pgtop: shared.pgtop,
+        path_conds,
+        stores: shared.stores,
+        loads: shared.loads,
+        def_site,
+        summaries: shared.summaries.into_inner(),
+        tasks,
     }
 }
 
-struct Analyzer<'p> {
-    prog: &'p Program,
-    cg: &'p CallGraph,
-    pool: &'p mut TermPool,
-    pc: PathConditions,
-    vfg: Vfg,
-    pgtop: Vec<PtsSet>,
-    def_site: Vec<Option<Label>>,
-    stores: Vec<StoreSite>,
-    loads: Vec<LoadSite>,
-    summaries: Vec<FuncSummary>,
-    analyzed: Vec<bool>,
-}
-
-type Mem = HashMap<MemKey, CellSet>;
-
-impl Analyzer<'_> {
-    /// Anchors every variable at its defining statement; parameters at
-    /// their function's first label.
-    fn compute_def_sites(&mut self) {
-        for l in self.prog.labels() {
-            if let Some(d) = self.prog.inst(l).def() {
-                self.def_site[d.index()] = Some(l);
-            }
+/// Anchors every variable at its defining statement; parameters at
+/// their function's first label.
+fn compute_def_sites(prog: &Program) -> Vec<Option<Label>> {
+    let mut def_site = vec![None; prog.vars.len()];
+    for l in prog.labels() {
+        if let Some(d) = prog.inst(l).def() {
+            def_site[d.index()] = Some(l);
         }
-        for func in &self.prog.funcs {
-            if let Some(first) = func.labels().next() {
-                for &p in &func.params {
-                    if self.def_site[p.index()].is_none() {
-                        self.def_site[p.index()] = Some(first);
-                    }
+    }
+    for func in &prog.funcs {
+        if let Some(first) = func.labels().next() {
+            for &p in &func.params {
+                if def_site[p.index()].is_none() {
+                    def_site[p.index()] = Some(first);
                 }
             }
         }
+    }
+    def_site
+}
+
+/// Committed analysis state, frozen while a level's tasks run. The
+/// summary table sits behind a lock because it is the one piece of
+/// state workers read per-callee while the coordinator publishes
+/// between levels; everything else is written only at commit time.
+struct Shared {
+    vfg: Vfg,
+    pgtop: Vec<PtsSet>,
+    stores: Vec<StoreSite>,
+    loads: Vec<LoadSite>,
+    summaries: RwLock<Vec<FuncSummary>>,
+    analyzed: Vec<bool>,
+}
+
+/// Everything one task produced, in scratch-relative term ids. Owned
+/// (no borrows of the frozen state), so the coordinator can commit
+/// outputs while later levels' borrows are long gone.
+struct TaskOut {
+    funcs: Vec<usize>,
+    terms: ScratchLog,
+    vfg: VfgLog,
+    pgtop: Vec<(usize, PtsSet)>,
+    summaries: Vec<(usize, FuncSummary)>,
+    stores: Vec<StoreSite>,
+    loads: Vec<LoadSite>,
+}
+
+/// Analyzes one task (one call-graph SCC) against frozen shared state.
+fn run_task(
+    prog: &Program,
+    cg: &CallGraph,
+    pc: &PathConditions,
+    def_site: &[Option<Label>],
+    shared: &Shared,
+    pool: &TermPool,
+    members: &[FuncId],
+) -> TaskOut {
+    let mut ctx = TaskCtx {
+        prog,
+        cg,
+        pc,
+        def_site,
+        shared,
+        pool: ScratchPool::new(pool),
+        vfg: VfgScratch::new(&shared.vfg),
+        pgtop: HashMap::new(),
+        summaries: HashMap::new(),
+        analyzed_local: HashSet::new(),
+        stores: Vec::new(),
+        loads: Vec::new(),
+    };
+    for &f in members {
+        ctx.analyze_func(f);
+        ctx.analyzed_local.insert(f.index());
+    }
+    let mut pgtop: Vec<(usize, PtsSet)> = ctx.pgtop.into_iter().collect();
+    pgtop.sort_unstable_by_key(|&(v, _)| v);
+    let mut summaries: Vec<(usize, FuncSummary)> = ctx.summaries.into_iter().collect();
+    summaries.sort_unstable_by_key(|&(f, _)| f);
+    TaskOut {
+        funcs: members.iter().map(|f| f.index()).collect(),
+        terms: ctx.pool.into_log(),
+        vfg: ctx.vfg.into_log(),
+        pgtop,
+        summaries,
+        stores: ctx.stores,
+        loads: ctx.loads,
+    }
+}
+
+/// Merges one task's output into the shared state. Called in task order
+/// — the single point that fixes the global numbering of everything the
+/// workers produced.
+fn commit_task(shared: &mut Shared, pool: &mut TermPool, out: TaskOut) {
+    let remap = out.terms.commit(pool);
+    out.vfg.commit(&mut shared.vfg, &remap);
+    for (v, mut set) in out.pgtop {
+        remap_guards(&remap, &mut set);
+        // Tasks only touch their own functions' variables, so this
+        // overwrite never clobbers a sibling's work.
+        shared.pgtop[v] = set;
+    }
+    for mut s in out.stores {
+        s.guard = remap.remap(s.guard);
+        shared.stores.push(s);
+    }
+    for mut l in out.loads {
+        l.guard = remap.remap(l.guard);
+        shared.loads.push(l);
+    }
+    let mut table = shared.summaries.write();
+    for (f, mut summary) in out.summaries {
+        for (_, cells) in &mut summary.exit_mem {
+            remap_guards(&remap, cells);
+        }
+        for pl in &mut summary.param_loads {
+            pl.guard = remap.remap(pl.guard);
+        }
+        for (_, g, _) in &mut summary.returns {
+            *g = remap.remap(*g);
+        }
+        table[f] = summary;
+    }
+    drop(table);
+    for f in out.funcs {
+        shared.analyzed[f] = true;
+    }
+}
+
+fn remap_guards<T>(remap: &TermRemap, set: &mut [Guarded<T>]) {
+    for e in set {
+        e.guard = remap.remap(e.guard);
+    }
+}
+
+struct TaskCtx<'e> {
+    prog: &'e Program,
+    cg: &'e CallGraph,
+    pc: &'e PathConditions,
+    def_site: &'e [Option<Label>],
+    shared: &'e Shared,
+    pool: ScratchPool<'e>,
+    vfg: VfgScratch<'e>,
+    /// Points-to overlay for variables this task defines; reads fall
+    /// through to the committed sets.
+    pgtop: HashMap<usize, PtsSet>,
+    /// Summaries of this task's own functions (intra-SCC visibility
+    /// before publication).
+    summaries: HashMap<usize, FuncSummary>,
+    analyzed_local: HashSet<usize>,
+    stores: Vec<StoreSite>,
+    loads: Vec<LoadSite>,
+}
+
+/// Flow-sensitive memory state: key-ordered so every iteration —
+/// block-exit merges above all — visits cells in one canonical order
+/// regardless of insertion history. (A hash map here made term-creation
+/// order, and with it the whole pool, run-to-run nondeterministic.)
+type Mem = BTreeMap<MemKey, CellSet>;
+
+impl TaskCtx<'_> {
+    /// The current points-to set of `v`: this task's overlay, else the
+    /// committed state.
+    fn pg(&self, v: VarId) -> PtsSet {
+        match self.pgtop.get(&v.index()) {
+            Some(set) => set.clone(),
+            None => self.shared.pgtop[v.index()].clone(),
+        }
+    }
+
+    /// Inserts into `v`'s points-to set, copying the committed set into
+    /// the overlay on first write.
+    fn pg_insert(&mut self, v: VarId, guard: TermId, value: Sym) {
+        use std::collections::hash_map::Entry;
+        let set = match self.pgtop.entry(v.index()) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(self.shared.pgtop[v.index()].clone()),
+        };
+        insert_guarded(&mut self.pool, set, guard, value);
+    }
+
+    /// Whether `f`'s summary is ready: published in a lower level, or
+    /// produced earlier within this task's SCC.
+    fn is_analyzed(&self, f: FuncId) -> bool {
+        self.analyzed_local.contains(&f.index()) || self.shared.analyzed[f.index()]
+    }
+
+    /// The summary of `f` as visible to this task.
+    fn summary_of(&self, f: FuncId) -> FuncSummary {
+        if let Some(s) = self.summaries.get(&f.index()) {
+            return s.clone();
+        }
+        self.shared.summaries.read()[f.index()].clone()
     }
 
     fn def_node(&mut self, v: VarId) -> Option<NodeId> {
@@ -180,7 +389,7 @@ impl Analyzer<'_> {
         // Seed parameter points-to symbolically.
         for (i, &p) in func.params.iter().enumerate() {
             let tt = self.pool.tt();
-            insert_guarded(self.pool, &mut self.pgtop[p.index()], tt, Sym::Param(i));
+            self.pg_insert(p, tt, Sym::Param(i));
         }
         // Flow-sensitive walk in reverse post-order; block-entry memory
         // states merge predecessor exits.
@@ -197,25 +406,28 @@ impl Analyzer<'_> {
             }
             match &func.block(blk).term {
                 Terminator::Exit => {
-                    merge_mem(self.pool, &mut exit_mem, &mem);
+                    merge_mem(&mut self.pool, &mut exit_mem, &mem);
                 }
                 term => {
                     for succ in term.successors() {
                         let entry = block_in.entry(succ.0).or_default();
-                        merge_mem(self.pool, entry, &mem);
+                        merge_mem(&mut self.pool, entry, &mem);
                     }
                 }
             }
         }
-        self.summaries[f.index()] = FuncSummary {
-            exit_mem: {
-                let mut v: Vec<(MemKey, CellSet)> = exit_mem.into_iter().collect();
-                v.sort_by_key(|(k, _)| *k);
-                v
+        self.summaries.insert(
+            f.index(),
+            FuncSummary {
+                exit_mem: {
+                    let mut v: Vec<(MemKey, CellSet)> = exit_mem.into_iter().collect();
+                    v.sort_by_key(|(k, _)| *k);
+                    v
+                },
+                param_loads,
+                returns,
             },
-            param_loads,
-            returns,
-        };
+        );
     }
 
     #[allow(clippy::too_many_lines)]
@@ -230,7 +442,7 @@ impl Analyzer<'_> {
         let phi = self.pc.guard(l);
         match self.prog.inst(l).clone() {
             Inst::Alloc { dst, obj } => {
-                insert_guarded(self.pool, &mut self.pgtop[dst.index()], phi, Sym::Obj(obj));
+                self.pg_insert(dst, phi, Sym::Obj(obj));
                 let on = self.vfg.obj_node(obj, l);
                 let dn = self.vfg.def_node(dst, l);
                 self.vfg.add_edge(on, dn, EdgeKind::Direct, phi);
@@ -246,7 +458,7 @@ impl Analyzer<'_> {
                 self.vfg.def_node(dst, l);
             }
             Inst::AssignNull { dst } => {
-                insert_guarded(self.pool, &mut self.pgtop[dst.index()], phi, Sym::Null);
+                self.pg_insert(dst, phi, Sym::Null);
                 self.vfg.def_node(dst, l);
             }
             Inst::TaintSource { dst } => {
@@ -260,7 +472,7 @@ impl Analyzer<'_> {
                     guard: phi,
                 });
                 let dn = self.vfg.def_node(dst, l);
-                let addr_pts = self.pgtop[addr.index()].clone();
+                let addr_pts = self.pg(addr);
                 for Guarded { guard: gamma, value: sym } in addr_pts {
                     let key = match sym {
                         Sym::Obj(o) => MemKey::Obj(o),
@@ -275,7 +487,7 @@ impl Analyzer<'_> {
                                 continue;
                             }
                             if let Some(ptee) = val.pointee {
-                                insert_guarded(self.pool, &mut self.pgtop[dst.index()], g, ptee);
+                                self.pg_insert(dst, g, ptee);
                             }
                             if let Some((sl, sv)) = val.origin {
                                 let sn = self.vfg.def_node(sv, sl);
@@ -285,12 +497,7 @@ impl Analyzer<'_> {
                     }
                     if let MemKey::ParamCell(i) = key {
                         // The cell's initial (caller-provided) contents.
-                        insert_guarded(
-                            self.pool,
-                            &mut self.pgtop[dst.index()],
-                            base,
-                            Sym::DerefParam(i),
-                        );
+                        self.pg_insert(dst, base, Sym::DerefParam(i));
                         param_loads.push(ParamLoad {
                             param: i,
                             dst,
@@ -315,9 +522,9 @@ impl Analyzer<'_> {
                         self.vfg.add_edge(sn, store_node, EdgeKind::Direct, phi);
                     }
                 }
-                let addr_pts = self.pgtop[addr.index()].clone();
+                let addr_pts = self.pg(addr);
                 let strong = addr_pts.len() == 1;
-                let src_pts = self.pgtop[src.index()].clone();
+                let src_pts = self.pg(src);
                 for Guarded { guard: gamma, value: sym } in addr_pts {
                     let key = match sym {
                         Sym::Obj(o) => MemKey::Obj(o),
@@ -328,7 +535,7 @@ impl Analyzer<'_> {
                     let mut new_entries: CellSet = Vec::new();
                     if src_pts.is_empty() {
                         insert_guarded(
-                            self.pool,
+                            &mut self.pool,
                             &mut new_entries,
                             base,
                             MemVal {
@@ -340,7 +547,7 @@ impl Analyzer<'_> {
                         for Guarded { guard: delta, value: s } in &src_pts {
                             let g = self.pool.and2(base, *delta);
                             insert_guarded(
-                                self.pool,
+                                &mut self.pool,
                                 &mut new_entries,
                                 g,
                                 MemVal {
@@ -356,7 +563,7 @@ impl Analyzer<'_> {
                         *cell = new_entries;
                     } else {
                         for e in new_entries {
-                            insert_guarded(self.pool, cell, e.guard, e.value);
+                            insert_guarded(&mut self.pool, cell, e.guard, e.value);
                         }
                     }
                 }
@@ -364,7 +571,7 @@ impl Analyzer<'_> {
             Inst::Call { dsts, callee: _, args } => {
                 for &g in self.cg.targets(l) {
                     self.bind_args(g, &args, phi);
-                    if self.analyzed[g.index()] {
+                    if self.is_analyzed(g) {
                         self.apply_summary(f, g, l, &dsts, &args, phi, mem, param_loads);
                     }
                 }
@@ -402,10 +609,10 @@ impl Analyzer<'_> {
 
     /// `dst = src` style flow: guarded points-to copy + direct edge.
     fn flow_var(&mut self, src: VarId, dst: VarId, l: Label, phi: TermId) {
-        let entries = self.pgtop[src.index()].clone();
+        let entries = self.pg(src);
         for Guarded { guard, value } in entries {
             let g = self.pool.and2(guard, phi);
-            insert_guarded(self.pool, &mut self.pgtop[dst.index()], g, value);
+            self.pg_insert(dst, g, value);
         }
         let dn = self.vfg.def_node(dst, l);
         if let Some(sn) = self.def_node(src) {
@@ -439,7 +646,7 @@ impl Analyzer<'_> {
         mem: &mut Mem,
         caller_param_loads: &mut Vec<ParamLoad>,
     ) {
-        let summary = self.summaries[callee.index()].clone();
+        let summary = self.summary_of(callee);
         // 1. Returns: value flow + substituted points-to. The edge
         // leaves the returned variable's *definition* node so the flow
         // chain from its producers stays connected.
@@ -451,13 +658,13 @@ impl Analyzer<'_> {
                 let _ = rl;
                 let dn = self.vfg.def_node(dst, call_label);
                 self.vfg.add_edge(rn, dn, EdgeKind::Direct, g);
-                let rpts = self.pgtop[rv.index()].clone();
+                let rpts = self.pg(rv);
                 for Guarded { guard, value } in rpts {
                     let base = self.pool.and2(g, guard);
                     for (sg, s) in self.subst_sym(value, args, mem) {
                         let gg = self.pool.and2(base, sg);
                         if let Some(s) = s {
-                            insert_guarded(self.pool, &mut self.pgtop[dst.index()], gg, s);
+                            self.pg_insert(dst, gg, s);
                         }
                     }
                 }
@@ -469,8 +676,7 @@ impl Analyzer<'_> {
                 MemKey::Obj(o) => vec![(self.pool.tt(), MemKey::Obj(*o))],
                 MemKey::ParamCell(i) => {
                     let Some(&arg) = args.get(*i) else { continue };
-                    self.pgtop[arg.index()]
-                        .clone()
+                    self.pg(arg)
                         .into_iter()
                         .filter_map(|e| match e.value {
                             Sym::Obj(o) => Some((e.guard, MemKey::Obj(o))),
@@ -492,7 +698,7 @@ impl Analyzer<'_> {
                         let g = self.pool.and2(base, sg);
                         let cell = mem.entry(rkey).or_default();
                         insert_guarded(
-                            self.pool,
+                            &mut self.pool,
                             cell,
                             g,
                             MemVal {
@@ -510,7 +716,7 @@ impl Analyzer<'_> {
             let Some(&arg) = args.get(pl.param) else {
                 continue;
             };
-            let arg_pts = self.pgtop[arg.index()].clone();
+            let arg_pts = self.pg(arg);
             for Guarded { guard: ga, value: s } in arg_pts {
                 let base2 = self.pool.and2(phi, ga);
                 let base = self.pool.and2(base2, pl.guard);
@@ -554,8 +760,7 @@ impl Analyzer<'_> {
                 let Some(&arg) = args.get(i) else {
                     return Vec::new();
                 };
-                self.pgtop[arg.index()]
-                    .clone()
+                self.pg(arg)
                     .into_iter()
                     .map(|e| (e.guard, Some(e.value)))
                     .collect()
@@ -565,7 +770,7 @@ impl Analyzer<'_> {
                     return Vec::new();
                 };
                 let mut out = Vec::new();
-                for e in self.pgtop[arg.index()].clone() {
+                for e in self.pg(arg) {
                     match e.value {
                         Sym::Obj(o) => {
                             if let Some(cells) = mem.get(&MemKey::Obj(o)) {
@@ -585,8 +790,9 @@ impl Analyzer<'_> {
     }
 }
 
-/// Merges `src` memory into `dst` (guarded union).
-fn merge_mem(pool: &mut TermPool, dst: &mut Mem, src: &Mem) {
+/// Merges `src` memory into `dst` (guarded union). Key-ordered
+/// iteration keeps the term-creation order canonical.
+fn merge_mem<B: TermBuild>(pool: &mut B, dst: &mut Mem, src: &Mem) {
     for (k, cells) in src {
         let d = dst.entry(*k).or_default();
         for c in cells {

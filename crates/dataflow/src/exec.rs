@@ -1,0 +1,78 @@
+//! Deterministic work-sharded execution.
+//!
+//! The primitive under both parallel phases of the front-end (the
+//! level-parallel Alg. 1 tasks here and the sharded interference rounds
+//! in `canary-interference`): run `n` independent work items on a
+//! bounded pool of scoped workers and hand the outputs back **in item
+//! order**, so the caller's merge loop — and therefore everything
+//! downstream — is unaffected by scheduling. Workers pull items off a
+//! shared atomic counter (work stealing degenerates to round-robin for
+//! uniform items and keeps long items from serializing behind a static
+//! partition).
+//!
+//! With `threads <= 1` the items run inline on the caller's thread
+//! through the very same closure, which is how the pipeline guarantees
+//! byte-identical output across thread counts: the serial path is the
+//! parallel path with one worker, not a separate algorithm.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `run(0..n)` across at most `threads` workers, returning outputs
+/// indexed by item. `run` must be pure up to its item index — it sees
+/// only frozen shared state — which makes the result independent of
+/// scheduling.
+pub fn run_indexed<T, F>(n: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = run(i);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("worker pool");
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every work item ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_come_back_in_item_order() {
+        let squares = run_indexed(17, 4, |i| i * i);
+        assert_eq!(squares, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_indexed(9, 1, |i| format!("item-{i}"));
+        let parallel = run_indexed(9, 8, |i| format!("item-{i}"));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 1), vec![1]);
+    }
+}

@@ -40,10 +40,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
+pub mod exec;
 pub mod pathcond;
 pub mod symbols;
 
-pub use analysis::{run, DataflowResult, FuncSummary, LoadSite, ParamLoad, StoreSite};
+pub use analysis::{run, run_with, DataflowResult, FuncSummary, LoadSite, ParamLoad, StoreSite};
 pub use pathcond::{cond_term, PathConditions};
 pub use symbols::{insert_guarded, CellSet, Guarded, MemKey, MemVal, PtsSet, Sym};
 

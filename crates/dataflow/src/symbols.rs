@@ -71,8 +71,11 @@ pub type PtsSet = Vec<Guarded<Sym>>;
 pub type CellSet = Vec<Guarded<MemVal>>;
 
 /// Inserts an entry, or-ing guards for duplicates of the same value.
-pub fn insert_guarded<T: PartialEq + Copy>(
-    pool: &mut canary_smt::TermPool,
+///
+/// Generic over [`canary_smt::TermBuild`] so dataflow tasks can merge
+/// into per-worker scratch pools as well as the canonical pool.
+pub fn insert_guarded<T: PartialEq + Copy, B: canary_smt::TermBuild>(
+    pool: &mut B,
     set: &mut Vec<Guarded<T>>,
     guard: TermId,
     value: T,

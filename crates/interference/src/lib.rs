@@ -22,15 +22,26 @@
 //! May-happen-in-parallel pruning (§6) is switchable for the ablation
 //! benches; with it off, impossible pairs still die at SMT time via the
 //! order constraints, exactly as the paper describes.
+//!
+//! # Parallel execution
+//!
+//! The two heavy parts of an edge round shard across workers — the
+//! `Pted(o)` reachability sweeps (one task per escaped object) and the
+//! store/load candidate checks (one task per load). Workers build
+//! guards in per-task [`canary_smt::ScratchPool`]s against the frozen
+//! round-start pool and emit pending edges; the coordinator commits
+//! both in a fixed order (escape order for `Pted`, load order for
+//! edges), so the VFG, the term pool, and every report are
+//! byte-identical for any [`InterferenceOptions::threads`] value.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::collections::{HashMap, HashSet};
 
-use canary_dataflow::DataflowResult;
+use canary_dataflow::{exec, DataflowResult, LoadSite, StoreSite};
 use canary_ir::{Inst, Label, MhpAnalysis, ObjId, Program, ThreadStructure, VarId};
-use canary_smt::{TermId, TermPool};
+use canary_smt::{ScratchPool, TermBuild, TermId, TermPool};
 use canary_vfg::{EdgeKind, NodeId, NodeKind, Vfg};
 
 /// Options for the interference analysis.
@@ -43,6 +54,9 @@ pub struct InterferenceOptions {
     /// Cap on fixpoint rounds (a safety valve; the analysis is
     /// monotone and converges long before this).
     pub max_rounds: usize,
+    /// Worker threads for the sharded phases of each edge round.
+    /// Output is identical for every value; `1` runs inline.
+    pub threads: usize,
 }
 
 impl Default for InterferenceOptions {
@@ -50,6 +64,7 @@ impl Default for InterferenceOptions {
         InterferenceOptions {
             use_mhp: true,
             max_rounds: 16,
+            threads: 1,
         }
     }
 }
@@ -69,6 +84,10 @@ pub struct InterferenceResult {
     pub refreshed_data_edges: usize,
     /// Store/load pairs pruned by the MHP analysis.
     pub mhp_pruned: usize,
+    /// Sharded work items executed across all rounds (`Pted` sweeps
+    /// plus per-load candidate scans) — the unit the per-phase metrics
+    /// report.
+    pub tasks: usize,
 }
 
 /// Runs Algorithm 2, extending `df.vfg` in place.
@@ -91,6 +110,7 @@ pub fn run(
         interference_edges: 0,
         refreshed_data_edges: 0,
         mhp_pruned: 0,
+        tasks: 0,
     };
     let rounds = a.fixpoint(df);
     InterferenceResult {
@@ -99,6 +119,7 @@ pub fn run(
         interference_edges: a.interference_edges,
         refreshed_data_edges: a.refreshed_data_edges,
         mhp_pruned: a.mhp_pruned,
+        tasks: a.tasks,
     }
 }
 
@@ -113,6 +134,18 @@ struct InterferenceAnalysis<'p> {
     interference_edges: usize,
     refreshed_data_edges: usize,
     mhp_pruned: usize,
+    tasks: usize,
+}
+
+/// An edge decision made by a sharded pair check, in scratch-relative
+/// term ids, to be materialized at commit time.
+struct PendingEdge {
+    kind: EdgeKind,
+    src_var: VarId,
+    src_label: Label,
+    dst_var: VarId,
+    dst_label: Label,
+    guard: TermId,
 }
 
 impl InterferenceAnalysis<'_> {
@@ -148,7 +181,7 @@ impl InterferenceAnalysis<'_> {
         for l in self.prog.labels() {
             if let Inst::Fork { args, .. } = self.prog.inst(l) {
                 for &a in args {
-                    let Some(n) = self.find_def_node(df, a) else {
+                    let Some(n) = find_def_node(df, a) else {
                         continue;
                     };
                     for &o in objs_of(&df.vfg, n).iter() {
@@ -162,14 +195,14 @@ impl InterferenceAnalysis<'_> {
         loop {
             let mut grew = false;
             for s in &df.stores {
-                let Some(xa) = self.find_def_node(df, s.addr) else {
+                let Some(xa) = find_def_node(df, s.addr) else {
                     continue;
                 };
                 let addr_objs = objs_of(&df.vfg, xa);
                 if !addr_objs.iter().any(|o| self.escaped_set.contains(o)) {
                     continue;
                 }
-                let Some(qn) = self.find_def_node(df, s.src) else {
+                let Some(qn) = find_def_node(df, s.src) else {
                     continue;
                 };
                 for &o2 in objs_of(&df.vfg, qn).iter() {
@@ -194,24 +227,53 @@ impl InterferenceAnalysis<'_> {
     }
 
     /// One interference-edge discovery pass (Alg. 2 lines 2–10).
+    ///
+    /// Sharded in two waves: the `Pted(o)` sweeps (one task per escaped
+    /// object) and the candidate pair checks (one task per load). Both
+    /// run against the frozen round-start pool/VFG and commit in a
+    /// fixed order, so the round is deterministic for any worker count.
     fn edge_round(&mut self, df: &mut DataflowResult) -> bool {
+        let threads = self.opts.threads;
         // Pted(o) for every escaped object: nodes reachable from o with
-        // aggregated guards (Alg. 2 lines 19–23).
-        let mut pted: HashMap<ObjId, HashMap<NodeId, TermId>> = HashMap::new();
-        for &o in &self.escaped {
-            let Some(on) = find_obj_node(&df.vfg, o) else {
-                continue;
-            };
-            let tt = self.pool.tt();
-            let reach = df.vfg.reachable_with_guards(self.pool, on, tt);
-            pted.insert(o, reach.into_iter().collect());
-        }
+        // aggregated guards (Alg. 2 lines 19–23). Kept in escape order —
+        // the iteration order downstream decides term creation order.
+        let obj_nodes: Vec<(ObjId, Option<NodeId>)> = self
+            .escaped
+            .iter()
+            .map(|&o| (o, find_obj_node(&df.vfg, o)))
+            .collect();
+        self.tasks += obj_nodes.len();
+        let pted: Vec<(ObjId, HashMap<NodeId, TermId>)> = {
+            let frozen: &TermPool = self.pool;
+            let vfg = &df.vfg;
+            let outs = exec::run_indexed(obj_nodes.len(), threads, |i| {
+                let (_, on) = obj_nodes[i];
+                let on = on?;
+                let mut sp = ScratchPool::new(frozen);
+                let tt = sp.tt();
+                let reach = vfg.reachable_with_guards(&mut sp, on, tt);
+                Some((reach, sp.into_log()))
+            });
+            let mut pted = Vec::new();
+            for (i, out) in outs.into_iter().enumerate() {
+                let Some((reach, log)) = out else { continue };
+                let remap = log.commit(self.pool);
+                pted.push((
+                    obj_nodes[i].0,
+                    reach
+                        .into_iter()
+                        .map(|(n, g)| (n, remap.remap(g)))
+                        .collect(),
+                ));
+            }
+            pted
+        };
 
         // For Φ_ls we need, per (load, object), the competing stores
         // S(l): every store whose address may point to the object.
         let mut stores_on_obj: HashMap<ObjId, Vec<usize>> = HashMap::new();
         for (si, s) in df.stores.iter().enumerate() {
-            let Some(xa) = self.find_def_node(df, s.addr) else {
+            let Some(xa) = find_def_node(df, s.addr) else {
                 continue;
             };
             for (o, nodes) in &pted {
@@ -221,137 +283,191 @@ impl InterferenceAnalysis<'_> {
             }
         }
 
+        // Candidate pair checks, one task per load. Tasks see frozen
+        // state and only *propose* edges; the commit below materializes
+        // them in load order, which reproduces the serial pool exactly.
+        self.tasks += df.loads.len();
+        let outs = {
+            let frozen: &TermPool = self.pool;
+            let prog = self.prog;
+            let ts = self.ts;
+            let mhp = self.mhp;
+            let use_mhp = self.opts.use_mhp;
+            let dff: &DataflowResult = df;
+            let pted = &pted;
+            let stores_on_obj = &stores_on_obj;
+            exec::run_indexed(dff.loads.len(), threads, |li| {
+                check_load(
+                    prog,
+                    ts,
+                    mhp,
+                    use_mhp,
+                    dff,
+                    frozen,
+                    pted,
+                    stores_on_obj,
+                    &dff.loads[li],
+                )
+            })
+        };
+
         let mut changed = false;
-        let loads = df.loads.clone();
-        let stores = df.stores.clone();
-        for load in &loads {
-            let Some(ya) = self.find_def_node(df, load.addr) else {
-                continue;
-            };
-            for (&o, nodes) in &pted {
-                let Some(&beta) = nodes.get(&ya) else {
-                    continue;
-                };
-                let Some(candidates) = stores_on_obj.get(&o) else {
-                    continue;
-                };
-                for &si in candidates {
-                    let s = &stores[si];
-                    if s.label == load.label {
-                        continue;
+        for (edges, log, pruned) in outs {
+            self.mhp_pruned += pruned;
+            let Some(log) = log else { continue };
+            let remap = log.commit(self.pool);
+            for e in edges {
+                let guard = remap.remap(e.guard);
+                let sn = df.vfg.def_node(e.src_var, e.src_label);
+                let ln = df.vfg.def_node(e.dst_var, e.dst_label);
+                if df.vfg.add_edge(sn, ln, e.kind, guard) {
+                    match e.kind {
+                        EdgeKind::Interference => self.interference_edges += 1,
+                        _ => self.refreshed_data_edges += 1,
                     }
-                    let distinct = self
-                        .ts
-                        .may_be_in_distinct_threads(self.prog, s.label, load.label);
-                    // Quick CFG-order refutation: a store strictly after
-                    // the load (in program order) can never feed it.
-                    if self.mhp.order_graph().happens_before(load.label, s.label) {
-                        continue;
-                    }
-                    let xa = self
-                        .find_def_node(df, s.addr)
-                        .expect("store candidates have address nodes");
-                    let alpha = nodes[&xa];
-                    if distinct {
-                        if self.opts.use_mhp
-                            && !self.mhp.may_happen_in_parallel(s.label, load.label)
-                            && !self
-                                .mhp
-                                .order_graph()
-                                .happens_before(s.label, load.label)
-                        {
-                            // Neither parallel nor ordered before the
-                            // load: impossible interference.
-                            self.mhp_pruned += 1;
-                            continue;
-                        }
-                        let guard =
-                            self.edge_guard(s, load, alpha, beta, candidates, &stores);
-                        let sn = df.vfg.def_node(s.src, s.label);
-                        let ln = df.vfg.def_node(load.dst, load.label);
-                        if df.vfg.add_edge(sn, ln, EdgeKind::Interference, guard) {
-                            self.interference_edges += 1;
-                            changed = true;
-                        }
-                    } else if self
-                        .mhp
-                        .order_graph()
-                        .happens_before(s.label, load.label)
-                    {
-                        // Alg. 2 line 9: refresh same-thread data
-                        // dependence over escaped objects (covers flows
-                        // the bottom-up summaries cannot see).
-                        let guard =
-                            self.edge_guard(s, load, alpha, beta, candidates, &stores);
-                        let sn = df.vfg.def_node(s.src, s.label);
-                        let ln = df.vfg.def_node(load.dst, load.label);
-                        if df.vfg.add_edge(sn, ln, EdgeKind::DataDep, guard) {
-                            self.refreshed_data_edges += 1;
-                            changed = true;
-                        }
-                    }
+                    changed = true;
                 }
             }
         }
         changed
     }
+}
 
-    /// `Φ_guard = Φ_alias ∧ Φ_ls` (Eq. 1–2).
-    fn edge_guard(
-        &mut self,
-        s: &canary_dataflow::StoreSite,
-        l: &canary_dataflow::LoadSite,
-        alpha: TermId,
-        beta: TermId,
-        candidates: &[usize],
-        stores: &[canary_dataflow::StoreSite],
-    ) -> TermId {
-        // Φ_alias = φ1 ∧ φ2 ∧ α ∧ β
-        let alias = self.pool.and([s.guard, l.guard, alpha, beta]);
-        // Φ_ls: the store precedes the load...
-        let mut parts = vec![order_atom(self.pool, s.label, l.label)];
-        // ...and no competing store lands in between (Eq. 2). As §4.2.2
-        // notes, "it is unnecessary to encode some order constraints
-        // between statements in the same thread, because we can quickly
-        // determine their order by traversing the control flow graph":
-        // a competing store the program order already places before the
-        // store or after the load satisfies its disjunct trivially and
-        // is skipped exactly.
-        let og = self.mhp.order_graph();
-        let mut kept = 0usize;
+/// Checks every candidate store against one load (the body of Alg. 2
+/// lines 2–10 for a single `l`), building guards in a scratch pool.
+#[allow(clippy::too_many_arguments)]
+fn check_load(
+    prog: &Program,
+    ts: &ThreadStructure,
+    mhp: &MhpAnalysis<'_>,
+    use_mhp: bool,
+    df: &DataflowResult,
+    frozen: &TermPool,
+    pted: &[(ObjId, HashMap<NodeId, TermId>)],
+    stores_on_obj: &HashMap<ObjId, Vec<usize>>,
+    load: &LoadSite,
+) -> (Vec<PendingEdge>, Option<canary_smt::ScratchLog>, usize) {
+    let mut pruned = 0usize;
+    let Some(ya) = find_def_node(df, load.addr) else {
+        return (Vec::new(), None, 0);
+    };
+    let mut sp = ScratchPool::new(frozen);
+    let mut edges = Vec::new();
+    let stores = &df.stores;
+    for (o, nodes) in pted {
+        let Some(&beta) = nodes.get(&ya) else {
+            continue;
+        };
+        let Some(candidates) = stores_on_obj.get(o) else {
+            continue;
+        };
         for &si in candidates {
-            let other = &stores[si];
-            if other.label == s.label {
+            let s = &stores[si];
+            if s.label == load.label {
                 continue;
             }
-            if og.happens_before(other.label, s.label)
-                || og.happens_before(l.label, other.label)
-            {
-                continue; // disjunct holds in every execution
-            }
-            // Cap the genuinely concurrent competitors: dropping a
-            // conjunct weakens the guard (more SAT ⇒ soundly more
-            // reports), never hides a bug.
-            kept += 1;
-            if kept > MAX_COMPETING_STORES {
+            let distinct = ts.may_be_in_distinct_threads(prog, s.label, load.label);
+            // Quick CFG-order refutation: a store strictly after the
+            // load (in program order) can never feed it.
+            if mhp.order_graph().happens_before(load.label, s.label) {
                 continue;
             }
-            let before = order_atom(self.pool, other.label, s.label);
-            let after = order_atom(self.pool, l.label, other.label);
-            // A competing store only overwrites under its own guard; a
-            // store off-path (guard false) does not constrain the flow.
-            let ng = self.pool.not(other.guard);
-            let dodge = self.pool.or([before, after, ng]);
-            parts.push(dodge);
+            let xa = find_def_node(df, s.addr).expect("store candidates have address nodes");
+            let alpha = nodes[&xa];
+            if distinct {
+                if use_mhp
+                    && !mhp.may_happen_in_parallel(s.label, load.label)
+                    && !mhp.order_graph().happens_before(s.label, load.label)
+                {
+                    // Neither parallel nor ordered before the load:
+                    // impossible interference.
+                    pruned += 1;
+                    continue;
+                }
+                let guard = edge_guard(&mut sp, mhp, s, load, alpha, beta, candidates, stores);
+                edges.push(PendingEdge {
+                    kind: EdgeKind::Interference,
+                    src_var: s.src,
+                    src_label: s.label,
+                    dst_var: load.dst,
+                    dst_label: load.label,
+                    guard,
+                });
+            } else if mhp.order_graph().happens_before(s.label, load.label) {
+                // Alg. 2 line 9: refresh same-thread data dependence
+                // over escaped objects (covers flows the bottom-up
+                // summaries cannot see).
+                let guard = edge_guard(&mut sp, mhp, s, load, alpha, beta, candidates, stores);
+                edges.push(PendingEdge {
+                    kind: EdgeKind::DataDep,
+                    src_var: s.src,
+                    src_label: s.label,
+                    dst_var: load.dst,
+                    dst_label: load.label,
+                    guard,
+                });
+            }
         }
-        let ls = self.pool.and(parts);
-        self.pool.and2(alias, ls)
     }
+    (edges, Some(sp.into_log()), pruned)
+}
 
-    fn find_def_node(&self, df: &DataflowResult, v: VarId) -> Option<NodeId> {
-        let l = df.def_site[v.index()]?;
-        df.vfg.find(NodeKind::Def { var: v, label: l })
+/// `Φ_guard = Φ_alias ∧ Φ_ls` (Eq. 1–2).
+#[allow(clippy::too_many_arguments)]
+fn edge_guard<B: TermBuild>(
+    pool: &mut B,
+    mhp: &MhpAnalysis<'_>,
+    s: &StoreSite,
+    l: &LoadSite,
+    alpha: TermId,
+    beta: TermId,
+    candidates: &[usize],
+    stores: &[StoreSite],
+) -> TermId {
+    // Φ_alias = φ1 ∧ φ2 ∧ α ∧ β
+    let alias = pool.and([s.guard, l.guard, alpha, beta]);
+    // Φ_ls: the store precedes the load...
+    let mut parts = vec![order_atom(pool, s.label, l.label)];
+    // ...and no competing store lands in between (Eq. 2). As §4.2.2
+    // notes, "it is unnecessary to encode some order constraints
+    // between statements in the same thread, because we can quickly
+    // determine their order by traversing the control flow graph":
+    // a competing store the program order already places before the
+    // store or after the load satisfies its disjunct trivially and
+    // is skipped exactly.
+    let og = mhp.order_graph();
+    let mut kept = 0usize;
+    for &si in candidates {
+        let other = &stores[si];
+        if other.label == s.label {
+            continue;
+        }
+        if og.happens_before(other.label, s.label) || og.happens_before(l.label, other.label) {
+            continue; // disjunct holds in every execution
+        }
+        // Cap the genuinely concurrent competitors: dropping a
+        // conjunct weakens the guard (more SAT ⇒ soundly more
+        // reports), never hides a bug.
+        kept += 1;
+        if kept > MAX_COMPETING_STORES {
+            continue;
+        }
+        let before = order_atom(pool, other.label, s.label);
+        let after = order_atom(pool, l.label, other.label);
+        // A competing store only overwrites under its own guard; a
+        // store off-path (guard false) does not constrain the flow.
+        let ng = pool.not(other.guard);
+        let dodge = pool.or([before, after, ng]);
+        parts.push(dodge);
     }
+    let ls = pool.and(parts);
+    pool.and2(alias, ls)
+}
+
+/// The def node of `v` at its anchor, if the dataflow pass created it.
+fn find_def_node(df: &DataflowResult, v: VarId) -> Option<NodeId> {
+    let l = df.def_site[v.index()]?;
+    df.vfg.find(NodeKind::Def { var: v, label: l })
 }
 
 /// Bound on per-edge no-overwrite conjuncts (Eq. 2). Beyond this many
@@ -360,7 +476,7 @@ impl InterferenceAnalysis<'_> {
 const MAX_COMPETING_STORES: usize = 24;
 
 /// The strict-order atom `O_a < O_b` over statement labels.
-fn order_atom(pool: &mut TermPool, a: Label, b: Label) -> TermId {
+fn order_atom<B: TermBuild>(pool: &mut B, a: Label, b: Label) -> TermId {
     pool.order_lt(a.0, b.0)
 }
 

@@ -1,0 +1,68 @@
+//! Determinism contract of the sharded interference rounds: the full
+//! Alg. 1 + Alg. 2 front-end must produce byte-identical state — term
+//! pool, VFG, interference facts — for every worker count.
+
+use proptest::prelude::*;
+
+use canary_ir::{CallGraph, MhpAnalysis, ThreadStructure};
+use canary_smt::TermPool;
+use canary_workloads::{generate, WorkloadSpec};
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (0u64..400, 150usize..450, 1usize..4, 1usize..4).prop_map(
+        |(seed, stmts, threads, cells)| WorkloadSpec {
+            name: format!("alg2-par-{seed}"),
+            seed,
+            target_stmts: stmts,
+            threads,
+            shared_cells: cells,
+            true_bugs: 1,
+            benign_patterns: 1,
+            contradiction_patterns: 1,
+            handshake_patterns: 1,
+            order_fp_patterns: 1,
+        },
+    )
+}
+
+fn front_end(
+    spec: &WorkloadSpec,
+    threads: usize,
+) -> (TermPool, canary_dataflow::DataflowResult, canary_interference::InterferenceResult) {
+    let w = generate(spec);
+    let cg = CallGraph::build(&w.prog);
+    let ts = ThreadStructure::compute(&w.prog, &cg);
+    let mhp = MhpAnalysis::new(&w.prog, &cg, &ts);
+    let mut pool = TermPool::new();
+    let mut df = canary_dataflow::run_with(&w.prog, &cg, &mut pool, threads);
+    let opts = canary_interference::InterferenceOptions {
+        threads,
+        ..Default::default()
+    };
+    let ir = canary_interference::run(&w.prog, &ts, &mhp, &mut df, &mut pool, &opts);
+    (pool, df, ir)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_rounds_match_serial_exactly(spec in spec_strategy()) {
+        let (pool1, df1, ir1) = front_end(&spec, 1);
+        for threads in [2usize, 8] {
+            let (pooln, dfn, irn) = front_end(&spec, threads);
+            prop_assert_eq!(pool1.len(), pooln.len(), "term pools diverged at {} threads", threads);
+            prop_assert_eq!(df1.vfg.edges(), dfn.vfg.edges());
+            prop_assert_eq!(df1.vfg.node_count(), dfn.vfg.node_count());
+            for n in df1.vfg.node_ids() {
+                prop_assert_eq!(df1.vfg.kind(n), dfn.vfg.kind(n));
+            }
+            prop_assert_eq!(&ir1.escaped, &irn.escaped);
+            prop_assert_eq!(ir1.rounds, irn.rounds);
+            prop_assert_eq!(ir1.interference_edges, irn.interference_edges);
+            prop_assert_eq!(ir1.refreshed_data_edges, irn.refreshed_data_edges);
+            prop_assert_eq!(ir1.mhp_pruned, irn.mhp_pruned);
+            prop_assert_eq!(ir1.tasks, irn.tasks);
+        }
+    }
+}

@@ -357,6 +357,104 @@ impl CallGraph {
         }
     }
 
+    /// Groups functions into schedulable bottom-up levels for the
+    /// level-parallel Alg. 1 front-end.
+    ///
+    /// Functions are condensed into strongly connected components over
+    /// the direct-call edges (a recursion cycle is one unit of work,
+    /// since its members' summaries converge together), and components
+    /// into levels: a component sits one level above the highest
+    /// component it calls into, so when a level runs, every callee
+    /// summary from lower levels is already published and tasks within
+    /// the level are mutually independent. Fork edges don't constrain
+    /// the schedule — Alg. 1 deliberately ignores forked-callee
+    /// summaries (§4.1), so a fork target needs no summary before its
+    /// forker runs.
+    ///
+    /// Returns `levels[level][task] = members`: levels ascending
+    /// (callees first), tasks within a level ordered by the earliest
+    /// [`CallGraph::bottom_up`] position of their members, members in
+    /// `bottom_up` order. Every piece of the schedule is a pure
+    /// function of the graph, which is what makes the parallel
+    /// pipeline's commit order — and therefore its output —
+    /// deterministic.
+    pub fn bottom_up_levels(&self) -> Vec<Vec<Vec<FuncId>>> {
+        let n = self.calls.len();
+        let pos_of: HashMap<FuncId, usize> = self
+            .bottom_up
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+
+        // Kosaraju's second pass: sweep vertices by decreasing DFS
+        // finish time (bottom_up reversed) over the transposed graph;
+        // each sweep tree is one SCC.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (f, gs) in self.calls.iter().enumerate() {
+            for g in gs {
+                rev[g.index()].push(f);
+            }
+        }
+        let mut comp_of: Vec<usize> = vec![usize::MAX; n];
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for &f in self.bottom_up.iter().rev() {
+            if comp_of[f.index()] != usize::MAX {
+                continue;
+            }
+            let c = comps.len();
+            let mut members = Vec::new();
+            let mut stack = vec![f.index()];
+            comp_of[f.index()] = c;
+            while let Some(x) = stack.pop() {
+                members.push(x);
+                for &y in &rev[x] {
+                    if comp_of[y] == usize::MAX {
+                        comp_of[y] = c;
+                        stack.push(y);
+                    }
+                }
+            }
+            comps.push(members);
+        }
+
+        // Components come out in reverse topological order of the
+        // condensation (callers before callees), so a reverse sweep
+        // sees every callee component's level before the caller's.
+        let mut level_of: Vec<usize> = vec![0; comps.len()];
+        for (c, members) in comps.iter().enumerate().rev() {
+            let mut level = 0;
+            for &f in members {
+                for g in &self.calls[f] {
+                    let cg = comp_of[g.index()];
+                    if cg != c {
+                        level = level.max(level_of[cg] + 1);
+                    }
+                }
+            }
+            level_of[c] = level;
+        }
+
+        let n_levels = level_of.iter().map(|&l| l + 1).max().unwrap_or(0);
+        let mut levels: Vec<Vec<Vec<FuncId>>> = vec![Vec::new(); n_levels];
+        let mut tasks: Vec<Vec<FuncId>> = comps
+            .iter()
+            .map(|members| {
+                let mut ms: Vec<FuncId> =
+                    members.iter().map(|&i| FuncId::new(i as u32)).collect();
+                ms.sort_by_key(|f| pos_of[f]);
+                ms
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..comps.len()).collect();
+        order.sort_by_key(|&c| pos_of[&tasks[c][0]]);
+        for c in order {
+            let level = level_of[c];
+            levels[level].push(std::mem::take(&mut tasks[c]));
+        }
+        levels
+    }
+
     /// Whether `g` is reachable from `f` via call/fork edges (reflexive).
     pub fn reaches(&self, f: FuncId, g: FuncId) -> bool {
         self.closure[f.index()].contains(&g)
@@ -468,6 +566,83 @@ mod tests {
         let mut targets = cg.call_targets[&call_site].clone();
         targets.sort();
         assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn bottom_up_levels_order_callees_first() {
+        let prog = parse(
+            "fn main() { call a(); call b(); }
+             fn a() { call c(); }
+             fn b() { call c(); }
+             fn c() { skip; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let levels = cg.bottom_up_levels();
+        let main = prog.func_by_name("main").unwrap();
+        let a = prog.func_by_name("a").unwrap();
+        let b = prog.func_by_name("b").unwrap();
+        let c = prog.func_by_name("c").unwrap();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![vec![c]]);
+        // a and b are independent: same level, two tasks, in bottom_up
+        // order.
+        assert_eq!(levels[1].len(), 2);
+        let pos = |f: FuncId| cg.bottom_up.iter().position(|&x| x == f).unwrap();
+        let (first, second) = if pos(a) < pos(b) { (a, b) } else { (b, a) };
+        assert_eq!(levels[1], vec![vec![first], vec![second]]);
+        assert_eq!(levels[2], vec![vec![main]]);
+    }
+
+    #[test]
+    fn bottom_up_levels_group_recursion_into_one_task() {
+        let prog = parse(
+            "fn main() { call a(); }
+             fn a() { call b(); }
+             fn b() { call a(); }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let levels = cg.bottom_up_levels();
+        let a = prog.func_by_name("a").unwrap();
+        let b = prog.func_by_name("b").unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 1);
+        let mut scc = levels[0][0].clone();
+        scc.sort();
+        assert_eq!(scc, vec![a, b]);
+    }
+
+    #[test]
+    fn bottom_up_levels_cover_every_function_once() {
+        let prog = parse(
+            "fn main() { fork t w(); call a(); }
+             fn w() { call a(); }
+             fn a() { skip; }
+             fn island() { skip; }",
+        )
+        .unwrap();
+        let cg = CallGraph::build(&prog);
+        let levels = cg.bottom_up_levels();
+        let mut seen: Vec<FuncId> = levels
+            .iter()
+            .flat_map(|level| level.iter().flatten().copied())
+            .collect();
+        seen.sort();
+        let mut all: Vec<FuncId> = (0..prog.funcs.len() as u32).map(FuncId::new).collect();
+        all.sort();
+        assert_eq!(seen, all);
+        // Fork edges don't force levels: w forks nothing below a, and
+        // main sits above a regardless of its fork of w.
+        let a = prog.func_by_name("a").unwrap();
+        let level_of = |f: FuncId| {
+            levels
+                .iter()
+                .position(|lvl| lvl.iter().any(|t| t.contains(&f)))
+                .unwrap()
+        };
+        assert_eq!(level_of(a), 0);
+        assert!(level_of(prog.func_by_name("main").unwrap()) > 0);
     }
 
     #[test]

@@ -16,8 +16,9 @@
 //!   the current function; for a thread entry, after the thread's join
 //!   site.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
 
 use crate::callgraph::CallGraph;
 use crate::ids::{FuncId, Label};
@@ -100,8 +101,11 @@ pub struct OrderGraph<'p> {
     /// A necessary condition used to reject most queries in O(1).
     func_follow: Vec<Vec<bool>>,
     /// Memoized query results; queries repeat heavily during Alg. 2's
-    /// edge construction and `Φ_po` generation.
-    cache: RefCell<HashMap<(Label, Label), bool>>,
+    /// edge construction and `Φ_po` generation. A mutex (not `RefCell`)
+    /// so the graph is `Sync` and the sharded interference rounds can
+    /// query it from worker threads; results are pure, so racing
+    /// fills are idempotent and scheduling cannot affect answers.
+    cache: Mutex<HashMap<(Label, Label), bool>>,
 }
 
 impl<'p> OrderGraph<'p> {
@@ -164,7 +168,7 @@ impl<'p> OrderGraph<'p> {
             intra,
             join_of_entry,
             func_follow,
-            cache: RefCell::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -199,11 +203,11 @@ impl<'p> OrderGraph<'p> {
         if !self.func_follow[f1.index()][f2.index()] {
             return false;
         }
-        if let Some(&hit) = self.cache.borrow().get(&(l1, l2)) {
+        if let Some(&hit) = self.cache.lock().get(&(l1, l2)) {
             return hit;
         }
         let result = self.happens_before_uncached(l1, l2);
-        self.cache.borrow_mut().insert((l1, l2), result);
+        self.cache.lock().insert((l1, l2), result);
         result
     }
 

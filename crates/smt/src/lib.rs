@@ -44,6 +44,7 @@
 pub mod cnf;
 pub mod core;
 pub mod sat;
+pub mod scratch;
 pub mod simplify;
 pub mod solver;
 pub mod term;
@@ -54,5 +55,6 @@ pub use core::{check_conjunction, minimal_core};
 pub use sat::{Lit, SatResult, SatSolver, SatStats, Var};
 pub use simplify::{obviously_false, obviously_true};
 pub use solver::{check, check_all, check_witness, SmtResult, SolverOptions, SolverStats};
-pub use term::{AtomSet, EventId, Node, TermId, TermPool};
+pub use scratch::{ScratchLog, ScratchPool, TermRemap};
+pub use term::{AtomSet, EventId, Node, TermBuild, TermId, TermPool};
 pub use theory::{check_orders, orders_consistent, OrderEdge, TheoryResult};

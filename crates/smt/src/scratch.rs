@@ -1,0 +1,317 @@
+//! Thread-local term overlays for the parallel analysis front-end.
+//!
+//! Workers of the level-parallel dataflow (§4) and the sharded
+//! interference rounds (§4.3) must build guard terms concurrently, but
+//! [`TermPool`] construction needs `&mut self` and the pipeline's
+//! determinism guarantee forbids racing on insertion order. The scheme
+//! here keeps the base pool frozen while workers run:
+//!
+//! 1. each work item gets a [`ScratchPool`] over `&TermPool` — reads
+//!    fall through to the base, new terms intern into a private tail
+//!    whose ids start at `base.len()`;
+//! 2. the worker ships its tail back as an owned [`ScratchLog`]
+//!    (dropping the borrow so the coordinator can mutate the pool);
+//! 3. the coordinator commits logs **in work-item order**, replaying
+//!    each local node into the base pool and producing a [`TermRemap`]
+//!    from scratch ids to canonical pool ids.
+//!
+//! Because every worker builds against the same frozen base and logs
+//! are replayed in a fixed order, the final pool contents — and every
+//! remapped id — are independent of scheduling. That is the keystone of
+//! the pipeline's byte-identical-output guarantee across worker counts.
+
+use std::collections::HashMap;
+
+use crate::term::{Node, TermBuild, TermId, TermPool};
+
+/// A term store layered over a frozen [`TermPool`].
+///
+/// Implements [`TermBuild`], so all simplifying constructors work
+/// unchanged; terms already in the base are found there and new terms
+/// go to a local tail. Ids handed out for local terms are provisional —
+/// they become canonical only through [`ScratchLog::commit`].
+#[derive(Debug)]
+pub struct ScratchPool<'a> {
+    base: &'a TermPool,
+    base_len: usize,
+    nodes: Vec<Node>,
+    dedup: HashMap<Node, TermId>,
+}
+
+impl<'a> ScratchPool<'a> {
+    /// Creates an overlay over `base`. The base must not change while
+    /// the overlay is alive (the borrow enforces this).
+    pub fn new(base: &'a TermPool) -> Self {
+        ScratchPool {
+            base,
+            base_len: base.len(),
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// Number of terms in the base pool at overlay creation; local ids
+    /// start here.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Number of locally created terms.
+    pub fn local_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Detaches the local tail, dropping the base borrow. The returned
+    /// log can cross back to the coordinator thread and outlive the
+    /// scope that froze the pool.
+    pub fn into_log(self) -> ScratchLog {
+        ScratchLog {
+            base_len: self.base_len,
+            nodes: self.nodes,
+        }
+    }
+}
+
+impl TermBuild for ScratchPool<'_> {
+    fn term_count(&self) -> usize {
+        self.base_len + self.nodes.len()
+    }
+
+    fn node(&self, t: TermId) -> &Node {
+        if t.index() < self.base_len {
+            self.base.node(t)
+        } else {
+            &self.nodes[t.index() - self.base_len]
+        }
+    }
+
+    fn intern_node(&mut self, n: Node) -> TermId {
+        // Nodes whose children are all base ids may already exist in
+        // the base; anything referencing a local child can't.
+        if let Some(id) = self.base.lookup(&n) {
+            return id;
+        }
+        if let Some(&id) = self.dedup.get(&n) {
+            return id;
+        }
+        let id = TermId((self.base_len + self.nodes.len()) as u32);
+        self.nodes.push(n.clone());
+        self.dedup.insert(n, id);
+        id
+    }
+}
+
+/// The owned tail of a [`ScratchPool`]: the locally created nodes in
+/// creation order, plus the base length their ids are relative to.
+#[derive(Debug)]
+pub struct ScratchLog {
+    base_len: usize,
+    nodes: Vec<Node>,
+}
+
+impl ScratchLog {
+    /// Whether the worker created any terms.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of local terms to replay.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Replays the local nodes into `pool`, which must be the pool this
+    /// log's scratch was created over (possibly grown since by earlier
+    /// commits — base ids below `base_len` are stable because the pool
+    /// is append-only).
+    ///
+    /// Children are remapped before interning, and `And`/`Or` child
+    /// lists are re-sorted: the sorted-by-id invariant does not survive
+    /// an id remap even though flattening, deduplication and the other
+    /// structural rewrites do (the remap is injective). Local terms
+    /// that duplicate terms created meanwhile collapse onto the
+    /// existing ids.
+    pub fn commit(self, pool: &mut TermPool) -> TermRemap {
+        let mut map: Vec<TermId> = Vec::with_capacity(self.nodes.len());
+        for node in self.nodes {
+            let r = |t: TermId| -> TermId {
+                if t.index() < self.base_len {
+                    t
+                } else {
+                    map[t.index() - self.base_len]
+                }
+            };
+            let remapped = match node {
+                Node::True | Node::False | Node::BoolAtom(_) | Node::Order(_, _) => node,
+                Node::Not(x) => Node::Not(r(x)),
+                Node::And(xs) => {
+                    let mut v: Vec<TermId> = xs.into_iter().map(r).collect();
+                    v.sort_unstable();
+                    Node::And(v)
+                }
+                Node::Or(xs) => {
+                    let mut v: Vec<TermId> = xs.into_iter().map(r).collect();
+                    v.sort_unstable();
+                    Node::Or(v)
+                }
+            };
+            map.push(pool.intern_node(remapped));
+        }
+        TermRemap {
+            base_len: self.base_len,
+            map,
+        }
+    }
+}
+
+/// Translation from scratch-relative term ids to canonical pool ids,
+/// produced by [`ScratchLog::commit`]. Base ids map to themselves.
+#[derive(Debug)]
+pub struct TermRemap {
+    base_len: usize,
+    map: Vec<TermId>,
+}
+
+impl TermRemap {
+    /// An empty remap over a pool of `base_len` terms; the identity.
+    /// Useful for serial paths that never created scratch terms.
+    pub fn identity(base_len: usize) -> Self {
+        TermRemap {
+            base_len,
+            map: Vec::new(),
+        }
+    }
+
+    /// Maps a term id that was valid in the scratch overlay to its
+    /// canonical id in the committed pool.
+    pub fn remap(&self, t: TermId) -> TermId {
+        if t.index() < self.base_len {
+            t
+        } else {
+            self.map[t.index() - self.base_len]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_reads_through_to_base() {
+        let mut pool = TermPool::new();
+        let a = pool.bool_atom(0);
+        let mut s = ScratchPool::new(&pool);
+        // Existing terms resolve to their base ids without copying.
+        assert_eq!(TermBuild::bool_atom(&mut s, 0), a);
+        assert_eq!(s.local_len(), 0);
+        assert_eq!(TermBuild::tt(&s), pool.tt());
+    }
+
+    #[test]
+    fn local_ids_start_at_base_len_and_commit_remaps() {
+        let mut pool = TermPool::new();
+        let a = pool.bool_atom(0);
+        let base_len = pool.len();
+
+        let mut s = ScratchPool::new(&pool);
+        let b = TermBuild::bool_atom(&mut s, 1);
+        assert_eq!(b.index(), base_len);
+        let ab = TermBuild::and2(&mut s, a, b);
+
+        let remap = s.into_log().commit(&mut pool);
+        let b2 = pool.bool_atom(1);
+        let ab2 = pool.and2(a, b2);
+        assert_eq!(remap.remap(b), b2);
+        assert_eq!(remap.remap(ab), ab2);
+        assert_eq!(remap.remap(a), a);
+    }
+
+    #[test]
+    fn commit_resorts_children_after_remap() {
+        let mut pool = TermPool::new();
+        let a = pool.bool_atom(0);
+
+        // Worker 1 creates only atom 2; worker 2 creates atoms 1 and 2
+        // and conjoins them. After worker 1 commits, atom 2 has a
+        // smaller pool id than atom 1 will get, inverting the order the
+        // scratch sorted by — commit must restore sortedness.
+        let mut s1 = ScratchPool::new(&pool);
+        TermBuild::bool_atom(&mut s1, 2);
+        let mut s2 = ScratchPool::new(&pool);
+        let x1 = TermBuild::bool_atom(&mut s2, 1);
+        let x2 = TermBuild::bool_atom(&mut s2, 2);
+        let conj = TermBuild::and(&mut s2, [a, x1, x2]);
+
+        let log1 = s1.into_log();
+        let log2 = s2.into_log();
+        log1.commit(&mut pool);
+        let remap2 = log2.commit(&mut pool);
+
+        let y1 = pool.bool_atom(1);
+        let y2 = pool.bool_atom(2);
+        let expect = pool.and([a, y1, y2]);
+        assert_eq!(remap2.remap(conj), expect);
+        match pool.node(expect) {
+            Node::And(xs) => assert!(xs.windows(2).all(|w| w[0] < w[1])),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_commit_order_determines_pool_contents() {
+        // Two independent scratches over the same frozen base, built
+        // "concurrently", committed in item order: the resulting pool
+        // must match a serial run that did the same work in that order.
+        let mut pool = TermPool::new();
+        let seed = pool.bool_atom(0);
+
+        let mut s1 = ScratchPool::new(&pool);
+        let mut s2 = ScratchPool::new(&pool);
+        let t1 = {
+            let o = TermBuild::order_lt(&mut s1, 3, 7);
+            TermBuild::and2(&mut s1, seed, o)
+        };
+        let t2 = {
+            let o = TermBuild::order_lt(&mut s2, 3, 7);
+            let n = TermBuild::not(&mut s2, seed);
+            TermBuild::or2(&mut s2, n, o)
+        };
+        let (log1, log2) = (s1.into_log(), s2.into_log());
+        let r1 = log1.commit(&mut pool);
+        let r2 = log2.commit(&mut pool);
+
+        let mut serial = TermPool::new();
+        let seed_s = serial.bool_atom(0);
+        let o1 = serial.order_lt(3, 7);
+        let t1_s = serial.and2(seed_s, o1);
+        let o2 = serial.order_lt(3, 7);
+        let n = serial.not(seed_s);
+        let t2_s = serial.or2(n, o2);
+
+        assert_eq!(r1.remap(t1), t1_s);
+        assert_eq!(r2.remap(t2), t2_s);
+        assert_eq!(pool.len(), serial.len());
+    }
+
+    #[test]
+    fn duplicate_local_terms_collapse_on_commit() {
+        let mut pool = TermPool::new();
+        let mut s1 = ScratchPool::new(&pool);
+        let mut s2 = ScratchPool::new(&pool);
+        let a1 = TermBuild::bool_atom(&mut s1, 9);
+        let a2 = TermBuild::bool_atom(&mut s2, 9);
+        let (log1, log2) = (s1.into_log(), s2.into_log());
+        let r1 = log1.commit(&mut pool);
+        let r2 = log2.commit(&mut pool);
+        assert_eq!(r1.remap(a1), r2.remap(a2));
+    }
+
+    #[test]
+    fn identity_remap_passes_ids_through() {
+        let mut pool = TermPool::new();
+        let a = pool.bool_atom(0);
+        let r = TermRemap::identity(pool.len());
+        assert_eq!(r.remap(a), a);
+    }
+}

@@ -22,7 +22,11 @@ use std::collections::HashMap;
 use std::fmt;
 
 use canary_ir::{Label, ObjId, Program, VarId};
-use canary_smt::TermId;
+use canary_smt::{TermBuild, TermId};
+
+mod scratch;
+
+pub use scratch::{VfgLog, VfgScratch};
 
 /// A node handle in the VFG.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -142,6 +146,11 @@ impl Vfg {
         self.dedup.get(&kind).copied()
     }
 
+    /// Whether an edge `(from, to, kind)` is already present.
+    pub fn has_edge(&self, from: NodeId, to: NodeId, kind: EdgeKind) -> bool {
+        self.edge_dedup.contains_key(&(from, to, kind))
+    }
+
     /// Adds a guarded edge; returns `true` if it is new.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind, guard: TermId) -> bool {
         if self.edge_dedup.contains_key(&(from, to, kind)) {
@@ -227,9 +236,13 @@ impl Vfg {
     /// analysis of Alg. 2 (lines 19–23) records pointed-to-by guards.
     ///
     /// Returns `(node, aggregated guard)` pairs; `start` carries `base`.
-    pub fn reachable_with_guards(
+    ///
+    /// Generic over [`TermBuild`] so interference workers can aggregate
+    /// guards into thread-local [`canary_smt::ScratchPool`]s while the
+    /// canonical pool stays frozen.
+    pub fn reachable_with_guards<B: TermBuild>(
         &self,
-        pool: &mut canary_smt::TermPool,
+        pool: &mut B,
         start: NodeId,
         base: TermId,
     ) -> Vec<(NodeId, TermId)> {

@@ -1,0 +1,267 @@
+//! Per-worker VFG overlays for the parallel analysis front-end.
+//!
+//! Mirrors [`canary_smt::ScratchPool`]: dataflow tasks build their VFG
+//! fragment against a frozen base graph, ship it back as an owned
+//! [`VfgLog`], and the coordinator replays logs in task order. Replay
+//! order plus the first-guard-wins edge rule make the merged graph —
+//! node numbering included — independent of worker scheduling.
+//!
+//! Tasks only *produce* graph structure (intern nodes, append edges);
+//! they never read adjacency, so an overlay needs no merged view of
+//! edges, just enough node state to dedup and to name endpoints.
+
+use std::collections::{HashMap, HashSet};
+
+use canary_ir::{Label, ObjId, VarId};
+use canary_smt::TermRemap;
+
+use crate::{Edge, EdgeKind, NodeId, NodeKind, Vfg};
+
+/// A write-only VFG overlay over a frozen base graph.
+///
+/// Node lookups fall through to the base; new nodes get provisional ids
+/// starting at `base.node_count()`. Edges are logged with provisional
+/// endpoint ids and scratch-relative guard terms; both are remapped at
+/// commit.
+#[derive(Debug)]
+pub struct VfgScratch<'a> {
+    base: &'a Vfg,
+    base_nodes: usize,
+    nodes: Vec<NodeKind>,
+    dedup: HashMap<NodeKind, NodeId>,
+    edges: Vec<Edge>,
+    edge_seen: HashSet<(NodeId, NodeId, EdgeKind)>,
+}
+
+impl<'a> VfgScratch<'a> {
+    /// Creates an overlay over `base`, which must stay frozen while the
+    /// overlay is alive (the borrow enforces this).
+    pub fn new(base: &'a Vfg) -> Self {
+        VfgScratch {
+            base,
+            base_nodes: base.node_count(),
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+            edges: Vec::new(),
+            edge_seen: HashSet::new(),
+        }
+    }
+
+    /// Interns a node, reusing the base's id when it already exists.
+    pub fn node(&mut self, kind: NodeKind) -> NodeId {
+        if let Some(n) = self.base.find(kind) {
+            return n;
+        }
+        if let Some(&n) = self.dedup.get(&kind) {
+            return n;
+        }
+        let id = NodeId((self.base_nodes + self.nodes.len()) as u32);
+        self.nodes.push(kind);
+        self.dedup.insert(kind, id);
+        id
+    }
+
+    /// Interns the `v@ℓ` node.
+    pub fn def_node(&mut self, var: VarId, label: Label) -> NodeId {
+        self.node(NodeKind::Def { var, label })
+    }
+
+    /// Interns the object node for `o`.
+    pub fn obj_node(&mut self, obj: ObjId, label: Label) -> NodeId {
+        self.node(NodeKind::Object { obj, label })
+    }
+
+    /// Looks up a node in the base or the overlay without creating it.
+    pub fn find(&self, kind: NodeKind) -> Option<NodeId> {
+        self.base.find(kind).or_else(|| self.dedup.get(&kind).copied())
+    }
+
+    /// Logs a guarded edge; returns `true` if it is new relative to the
+    /// base graph and this overlay (first guard wins, as in
+    /// [`Vfg::add_edge`]).
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: EdgeKind,
+        guard: canary_smt::TermId,
+    ) -> bool {
+        let key = (from, to, kind);
+        // Base-id endpoints may duplicate a base edge; provisional ids
+        // cannot (the base has no such node yet).
+        if from.index() < self.base_nodes
+            && to.index() < self.base_nodes
+            && self.base.has_edge(from, to, kind)
+        {
+            return false;
+        }
+        if !self.edge_seen.insert(key) {
+            return false;
+        }
+        self.edges.push(Edge {
+            from,
+            to,
+            kind,
+            guard,
+        });
+        true
+    }
+
+    /// Number of locally created nodes.
+    pub fn local_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Detaches the fragment, dropping the base borrow.
+    pub fn into_log(self) -> VfgLog {
+        VfgLog {
+            base_nodes: self.base_nodes,
+            nodes: self.nodes,
+            edges: self.edges,
+        }
+    }
+}
+
+/// An owned VFG fragment: locally created nodes in creation order and
+/// logged edges, both relative to a base of `base_nodes` nodes.
+#[derive(Debug)]
+pub struct VfgLog {
+    base_nodes: usize,
+    nodes: Vec<NodeKind>,
+    edges: Vec<Edge>,
+}
+
+impl VfgLog {
+    /// Whether the fragment holds any nodes or edges.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty() && self.edges.is_empty()
+    }
+
+    /// Replays the fragment into `vfg` (the graph this log's scratch
+    /// was created over, possibly grown by earlier commits — base ids
+    /// are stable because the graph is append-only). Guards are
+    /// translated through `terms`, the remap from the matching
+    /// [`canary_smt::ScratchLog::commit`].
+    ///
+    /// Node interning is idempotent, so sibling tasks that created the
+    /// same node (e.g. the parameter definition of a shared callee)
+    /// collapse onto one id; the commit order fixes which id that is.
+    /// Returns the number of edges actually added.
+    pub fn commit(self, vfg: &mut Vfg, terms: &TermRemap) -> usize {
+        let mut node_map: Vec<NodeId> = Vec::with_capacity(self.nodes.len());
+        for kind in self.nodes {
+            node_map.push(vfg.node(kind));
+        }
+        let r = |n: NodeId| -> NodeId {
+            if n.index() < self.base_nodes {
+                n
+            } else {
+                node_map[n.index() - self.base_nodes]
+            }
+        };
+        let mut added = 0;
+        for e in self.edges {
+            if vfg.add_edge(r(e.from), r(e.to), e.kind, terms.remap(e.guard)) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canary_smt::{TermBuild, TermPool};
+
+    fn def(v: u32, l: u32) -> NodeKind {
+        NodeKind::Def {
+            var: VarId::new(v),
+            label: Label::new(l),
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_base_nodes_and_numbers_local_ones() {
+        let mut g = Vfg::new();
+        let a = g.node(def(0, 0));
+        let mut s = VfgScratch::new(&g);
+        assert_eq!(s.node(def(0, 0)), a);
+        let b = s.node(def(1, 1));
+        assert_eq!(b.index(), g.node_count());
+        assert_eq!(s.node(def(1, 1)), b);
+        assert_eq!(s.local_nodes(), 1);
+    }
+
+    #[test]
+    fn commit_merges_fragments_in_task_order() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+
+        let mut s1 = VfgScratch::new(&g);
+        let b1 = s1.node(def(1, 1));
+        s1.add_edge(a, b1, EdgeKind::Direct, pool.tt());
+
+        let mut s2 = VfgScratch::new(&g);
+        let b2 = s2.node(def(1, 1)); // same node as task 1's b
+        let c = s2.node(def(2, 2));
+        s2.add_edge(b2, c, EdgeKind::DataDep, pool.tt());
+
+        let (l1, l2) = (s1.into_log(), s2.into_log());
+        let id = canary_smt::TermRemap::identity(pool.len());
+        l1.commit(&mut g, &id);
+        l2.commit(&mut g, &id);
+
+        // Shared node collapsed; edges connect through it.
+        assert_eq!(g.node_count(), 3);
+        let b = g.find(def(1, 1)).unwrap();
+        assert_eq!(g.out_edges(a).count(), 1);
+        assert_eq!(g.out_edges(b).count(), 1);
+        let mut r = g.reachable_from(a);
+        r.sort();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn edge_dedup_is_first_wins_across_base_and_overlay() {
+        let mut g = Vfg::new();
+        let mut pool = TermPool::new();
+        let t = pool.bool_atom(0);
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+
+        let mut s = VfgScratch::new(&g);
+        // Duplicates the base edge: rejected at log time.
+        assert!(!s.add_edge(a, b, EdgeKind::Direct, t));
+        // New kind: accepted once.
+        assert!(s.add_edge(a, b, EdgeKind::Interference, t));
+        assert!(!s.add_edge(a, b, EdgeKind::Interference, pool.tt()));
+
+        let log = s.into_log();
+        let id = canary_smt::TermRemap::identity(pool.len());
+        assert_eq!(log.commit(&mut g, &id), 1);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn commit_remaps_scratch_guards() {
+        let mut pool = TermPool::new();
+        let mut g = Vfg::new();
+        let a = g.node(def(0, 0));
+
+        let mut terms = canary_smt::ScratchPool::new(&pool);
+        let mut s = VfgScratch::new(&g);
+        let b = s.node(def(1, 1));
+        let guard = TermBuild::bool_atom(&mut terms, 5);
+        s.add_edge(a, b, EdgeKind::Direct, guard);
+
+        let (tlog, vlog) = (terms.into_log(), s.into_log());
+        let remap = tlog.commit(&mut pool);
+        vlog.commit(&mut g, &remap);
+
+        let expect = pool.bool_atom(5);
+        assert_eq!(g.edges()[0].guard, expect);
+    }
+}

@@ -12,6 +12,8 @@
 //!   --no-sync             disable lock/wait constraint generation
 //!   --no-prefilter        disable the semi-decision prefilter
 //!   --memory-model MODEL  sc (default), tso or pso
+//!   --threads N           front-end worker threads (default 1; output
+//!                         is byte-identical for any value)
 //!   --solver-threads N    parallel SMT query workers (default 1)
 //!   --unroll K            loop unrolling depth (default 2)
 //!   --stats               print per-phase metrics
@@ -29,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
          [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
-         [--memory-model sc|tso|pso] [--solver-threads N] [--unroll K] \
+         [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
          [--tool canary|saber|fsam] [--explain] [--stats]"
     );
@@ -105,6 +107,17 @@ fn parse_args(args: &[String]) -> Cli {
                         usage()
                     }
                 };
+            }
+            "--threads" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                if n < 1 {
+                    eprintln!("--threads must be at least 1");
+                    usage()
+                }
+                config.threads = n;
             }
             "--solver-threads" => {
                 i += 1;
@@ -269,6 +282,9 @@ fn main() -> ExitCode {
                 "escaped_objects": m.escaped_objects,
                 "candidate_paths": m.detect.candidate_paths,
                 "smt_queries": m.detect.queries,
+                "worker_threads": m.worker_threads,
+                "dataflow_tasks": m.dataflow_phase.tasks,
+                "interference_tasks": m.interference_phase.tasks,
                 "time_dataflow_ms": m.t_dataflow.as_secs_f64() * 1e3,
                 "time_interference_ms": m.t_interference.as_secs_f64() * 1e3,
                 "time_detect_ms": m.t_detect.as_secs_f64() * 1e3,
@@ -295,7 +311,8 @@ fn main() -> ExitCode {
             println!(
                 "\nstats: {} stmts, {} threads | vfg {} nodes / {} edges \
                  ({} interference) | {} escaped objects | {} paths, {} queries | \
-                 dataflow {:.1} ms, interference {:.1} ms, detect {:.1} ms",
+                 {} workers: dataflow {:.1} ms ({} tasks), \
+                 interference {:.1} ms ({} tasks), detect {:.1} ms",
                 m.stmt_count,
                 m.thread_count,
                 m.vfg_nodes,
@@ -304,8 +321,11 @@ fn main() -> ExitCode {
                 m.escaped_objects,
                 m.detect.candidate_paths,
                 m.detect.queries,
+                m.worker_threads,
                 m.t_dataflow.as_secs_f64() * 1e3,
+                m.dataflow_phase.tasks,
                 m.t_interference.as_secs_f64() * 1e3,
+                m.interference_phase.tasks,
                 m.t_detect.as_secs_f64() * 1e3,
             );
         }

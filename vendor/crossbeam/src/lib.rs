@@ -1,0 +1,100 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread surface the workspace uses is provided,
+//! implemented over `std::thread::scope` (which has offered structured
+//! borrowing of stack data since Rust 1.63). The `crossbeam` calling
+//! convention is kept: `scope(|s| { s.spawn(|_| ...); })` where spawn
+//! closures receive the scope handle so they can spawn siblings.
+
+pub mod thread_mod {
+    //! Scoped threads (`crossbeam::thread` in the real crate).
+
+    use std::thread;
+
+    /// A scope handle passed to [`scope`] closures; spawned closures can
+    /// use it to spawn further sibling threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// handle, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                handle: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        handle: thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, yielding its result (or the
+        /// panic payload as `Err`, as crossbeam does).
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.handle.join()
+            })) {
+                Ok(r) => r,
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; returns once every spawned thread has joined.
+    ///
+    /// Unlike crossbeam (which collects panics into the returned
+    /// `Result`), a panicking scoped thread propagates when the scope
+    /// joins — acceptable for this workspace, where worker panics are
+    /// programming errors.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread_mod as thread;
+
+/// Convenience re-export matching `crossbeam::scope`.
+pub use thread_mod::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers() {
+        let mut data = vec![0u32; 4];
+        let chunks: Vec<&mut u32> = data.iter_mut().collect();
+        super::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in chunks.into_iter().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let out = super::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+            .unwrap();
+        assert_eq!(out, 7);
+    }
+}

@@ -1,0 +1,257 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API the workspace's property tests use:
+//! the `proptest!` macro with `#![proptest_config]`, `Strategy` with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, `Just`,
+//! `prop_oneof!`, `any::<T>()`, range and tuple strategies, simple
+//! regex string strategies (`"[class]{m,n}"` shapes), and
+//! `prop::collection::vec`.
+//!
+//! Differences from real proptest, deliberate for this environment:
+//! sampling is fully deterministic (seeded per test name and case
+//! index, so failures reproduce without persistence files), and there
+//! is **no shrinking** — a failing case panics with the case number.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of `T`".
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Uniform values of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! Module alias so `prop::collection::vec(...)` resolves.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions
+/// whose arguments use `pattern in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for(case);
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        panic!("proptest case {case} of {} failed: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// (Real proptest supports weights; the workspace uses none.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case with
+/// a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {:?} != {:?}", a, b),
+            );
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}: {:?} != {:?}",
+                ::std::format!($($fmt)+),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {:?} == {:?}", a, b),
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            (a, b) in (0u32..10, 5usize..=9),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!(usize::from(flag) <= 1);
+        }
+
+        #[test]
+        fn vec_and_oneof_compose(
+            items in prop::collection::vec(prop_oneof![Just(1u32), Just(2u32)], 0..5),
+        ) {
+            prop_assert!(items.len() < 5);
+            prop_assert!(items.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn string_regex_strategy(s in "[ -~\\n]{0,20}") {
+            prop_assert!(s.len() <= 20);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(u8),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    fn leaves_in_range(t: &Tree) -> bool {
+        match t {
+            Tree::Leaf(v) => *v < 4,
+            Tree::Node(kids) => kids.iter().all(leaves_in_range),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn recursive_strategies_bound_depth(
+            t in (0u8..4).prop_map(Tree::Leaf).prop_recursive(3, 12, 3, |inner| {
+                prop_oneof![
+                    (0u8..4).prop_map(Tree::Leaf),
+                    prop::collection::vec(inner, 0..3).prop_map(Tree::Node),
+                ]
+            }),
+        ) {
+            prop_assert!(depth(&t) <= 4, "depth {} too deep: {:?}", depth(&t), t);
+            prop_assert!(leaves_in_range(&t), "leaf out of range: {:?}", t);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name_and_case() {
+        let cfg = ProptestConfig::with_cases(4);
+        let r1 = crate::test_runner::TestRunner::new(cfg.clone(), "x");
+        let r2 = crate::test_runner::TestRunner::new(cfg, "x");
+        let s = 0u64..1000;
+        for case in 0..4 {
+            let a = Strategy::sample(&s, &mut r1.rng_for(case));
+            let b = Strategy::sample(&s, &mut r2.rng_for(case));
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! String generation from the small regex subset the workspace uses:
+//! a sequence of atoms, each a literal character or a `[...]` character
+//! class (ranges, escapes), optionally followed by an `{m}` / `{m,n}`
+//! repetition. Example: `"[ -~\n]{0,200}"`.
+
+use crate::test_runner::TestRng;
+
+/// Samples one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on regex features outside the supported subset, to fail fast
+/// rather than silently mis-generate.
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.usize_below(atom.max - atom.min + 1);
+        for _ in 0..n {
+            let idx = rng.usize_below(atom.chars.len());
+            out.push(atom.chars[idx]);
+        }
+    }
+    out
+}
+
+struct Atom {
+    /// Candidate characters (uniformly chosen).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => parse_class(&mut it, pattern),
+            '\\' => vec![unescape(it.next().unwrap_or_else(|| {
+                panic!("dangling escape in pattern {pattern:?}")
+            }))],
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => {
+                panic!("unsupported regex feature `{c}` in pattern {pattern:?}")
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            parse_repeat(&mut it, pattern)
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+fn parse_class(it: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut chars = Vec::new();
+    loop {
+        let c = it
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => return chars,
+            '\\' => chars.push(unescape(it.next().unwrap_or_else(|| {
+                panic!("dangling escape in pattern {pattern:?}")
+            }))),
+            lo => {
+                // Range `lo-hi` unless `-` is a literal before `]`.
+                if it.peek() == Some(&'-') {
+                    let mut ahead = it.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&']') | None => chars.push(lo),
+                        Some(&hi) => {
+                            it.next();
+                            it.next();
+                            let hi = if hi == '\\' {
+                                unescape(it.next().unwrap())
+                            } else {
+                                hi
+                            };
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            chars.extend(lo..=hi);
+                        }
+                    }
+                } else {
+                    chars.push(lo);
+                }
+            }
+        }
+    }
+}
+
+fn parse_repeat(it: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> (usize, usize) {
+    let mut min_text = String::new();
+    let mut max_text = String::new();
+    let mut in_max = false;
+    loop {
+        match it.next() {
+            Some('}') => break,
+            Some(',') => in_max = true,
+            Some(d) if d.is_ascii_digit() => {
+                if in_max {
+                    max_text.push(d);
+                } else {
+                    min_text.push(d);
+                }
+            }
+            other => panic!("bad repetition `{other:?}` in pattern {pattern:?}"),
+        }
+    }
+    let min: usize = min_text.parse().expect("repetition lower bound");
+    let max: usize = if in_max {
+        max_text.parse().expect("repetition upper bound")
+    } else {
+        min
+    };
+    assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+    (min, max)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}

@@ -1,0 +1,138 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The workspace only ever constructs a deterministic `StdRng` from a
+//! fixed seed (`SeedableRng::seed_from_u64`) and draws integers with
+//! `Rng::gen_range`, so that is all this crate provides. The generator
+//! is SplitMix64 — tiny, statistically fine for workload synthesis, and
+//! (unlike the real `StdRng`) guaranteed stable across releases, which
+//! is exactly what seeded workload generation wants.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Rngs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that integer samples can be drawn from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly within the range.
+    ///
+    /// Panics if the range is empty.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+/// The user-facing random-value interface.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: AsStdRng,
+    {
+        range.sample(self.as_std_rng())
+    }
+
+    /// Returns a uniformly random bool.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 bits of mantissa → uniform in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Helper allowing `SampleRange` to take the concrete rng type while
+/// `Rng` stays usable through the trait.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut rngs::StdRng;
+}
+
+pub mod rngs {
+    //! Concrete generators (`rand::rngs` in the real crate).
+
+    use super::{AsStdRng, Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl AsStdRng for StdRng {
+        fn as_std_rng(&mut self) -> &mut StdRng {
+            self
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Modulo bias is negligible for the small spans the
+                // workspace draws (≤ a few thousand) against 2^64.
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(5..10u32);
+            assert!((5..10).contains(&v));
+            let w = r.gen_range(3..=4usize);
+            assert!((3..=4).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Workspace-local stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so serialization is
+//! provided by this deliberately small crate. Instead of serde's
+//! visitor-based zero-copy architecture, types convert to and from a
+//! JSON-like [`Value`] tree: `Serialize` produces a `Value`,
+//! `Deserialize` consumes one. The companion `serde_json` crate turns
+//! `Value`s into JSON text and back. Object maps are `BTreeMap`s, so
+//! serialized output is canonically key-ordered — a property the
+//! workspace's determinism tests rely on.
+//!
+//! The derive macros (from the sibling `serde_derive` crate, re-exported
+//! here as in real serde) cover what the workspace uses: named-field
+//! structs, tuple structs, and enums with unit / tuple / struct
+//! variants, encoded with serde's externally-tagged JSON conventions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Error for a value of the wrong shape.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// Error for an unrecognized enum variant name.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+/// Types convertible to the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types constructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A `Null` with a `'static` address, for representing absent fields.
+pub static NULL: Value = Value::Null;
+
+/// Looks up a struct field, treating a missing key as `Null` (so
+/// `Option` fields tolerate omission).
+pub fn get_field<'a>(map: &'a BTreeMap<String, Value>, key: &str) -> &'a Value {
+    map.get(key).unwrap_or(&NULL)
+}
+
+/// Unwraps the single `{ "Variant": inner }` entry of an externally
+/// tagged enum encoding.
+pub fn single_entry<'a>(
+    map: &'a BTreeMap<String, Value>,
+    ty: &str,
+) -> Result<(&'a str, &'a Value), DeError> {
+    let mut it = map.iter();
+    match (it.next(), it.next()) {
+        (Some((k, v)), None) => Ok((k.as_str(), v)),
+        _ => Err(DeError::expected("single-key variant object", ty)),
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::PosInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| {
+                            DeError::expected("in-range integer", stringify!($t))
+                        })
+                    }
+                    Value::Number(Number::NegInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| {
+                            DeError::expected("non-negative integer", stringify!($t))
+                        })
+                    }
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::PosInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| {
+                            DeError::expected("in-range integer", stringify!($t))
+                        })
+                    }
+                    Value::Number(Number::NegInt(n)) => {
+                        <$t>::try_from(*n).map_err(|_| {
+                            DeError::expected("in-range integer", stringify!($t))
+                        })
+                    }
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(n) => Ok(n.as_f64()),
+            _ => Err(DeError::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", "BTreeMap")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        assert!(u8::from_value(&1000u32.to_value()).is_err());
+        assert!(u32::from_value(&(-1i32).to_value()).is_err());
+    }
+}

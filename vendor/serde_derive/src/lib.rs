@@ -1,0 +1,384 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes the workspace actually declares — named-field structs, tuple
+//! structs, and enums with unit / tuple / struct variants — without
+//! `syn`/`quote` (unavailable offline). The item is parsed directly
+//! from the `proc_macro::TokenStream` and the impl is emitted as source
+//! text. Encoding follows serde's externally-tagged JSON conventions:
+//!
+//! * named struct        → `{"field": ...}`
+//! * newtype struct      → inner value
+//! * n-tuple struct      → `[...]`
+//! * unit enum variant   → `"Variant"`
+//! * newtype variant     → `{"Variant": inner}`
+//! * struct variant      → `{"Variant": {"field": ...}}`
+//!
+//! `#[serde(...)]` attributes are not supported (none are used in this
+//! workspace) and generic parameters are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; only the count matters for codegen.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for {name}: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Skips leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                // The bracketed attribute body.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if matches!(
+                    toks.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    toks.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts fields of a tuple struct/variant body: top-level commas at
+/// angle-bracket depth zero delimit fields (token groups already nest
+/// parens/brackets/braces).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+/// Extracts the field names of a named-field body, skipping per-field
+/// attributes, visibility, and the type after each `:`.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        // Skip the type: consume until a comma at angle depth zero.
+        let mut angle_depth = 0i32;
+        for t in toks.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Consume the separating comma, if any (no discriminants in
+        // this workspace).
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("expected `,` between variants, got {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const IMPL_ATTRS: &str = "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n";
+
+/// `{"f1": v1, ...}` construction from `expr(field)` accessors.
+fn named_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let mut s = String::from(
+        "{ let mut m = ::std::collections::BTreeMap::new();\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}));\n",
+            access(f)
+        ));
+    }
+    s.push_str("::serde::Value::Object(m) }");
+    s
+}
+
+/// Struct-literal deserialization of named fields from map `m`.
+fn named_from_value(path: &str, fields: &[String]) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::get_field(m, \"{f}\"))?,\n"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                }
+                Fields::Named(fs) => named_to_value(fs, |f| format!("&self.{f}")),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({}) => {{ let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                             ::serde::Value::Object(m) }},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let inner = named_to_value(fs, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => {{ let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from(\"{v}\"), {inner});\n\
+                             ::serde::Value::Object(m) }},\n",
+                            fs.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                         _ => Err(::serde::DeError::expected(\"array of {n}\", \"{name}\")),\n}}",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fs) => format!(
+                    "match v {{\n\
+                     ::serde::Value::Object(m) => Ok({}),\n\
+                     _ => Err(::serde::DeError::expected(\"object\", \"{name}\")),\n}}",
+                    named_from_value(name, fs)
+                ),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                    }
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => match inner {{\n\
+                             ::serde::Value::Array(items) if items.len() == {n} => \
+                             Ok({name}::{v}({})),\n\
+                             _ => Err(::serde::DeError::expected(\"array of {n}\", \"{name}\")),\n}},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => tagged_arms.push_str(&format!(
+                        "\"{v}\" => match inner {{\n\
+                         ::serde::Value::Object(m) => Ok({}),\n\
+                         _ => Err(::serde::DeError::expected(\"object\", \"{name}\")),\n}},\n",
+                        named_from_value(&format!("{name}::{v}"), fs)
+                    )),
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (tag, inner) = ::serde::single_entry(m, \"{name}\")?;\n\
+                 let _ = inner;\n\
+                 match tag {{\n\
+                 {tagged_arms}other => Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::expected(\"string or object\", \"{name}\")),\n}}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,195 @@
+//! Workspace-local stand-in for the `serde_json` crate.
+//!
+//! Provides JSON text ⇄ [`Value`] conversion, generic `to_string` /
+//! `from_str` over the stand-in serde traits, and the `json!` macro.
+//! Objects are key-sorted `BTreeMap`s, so serialization is canonical:
+//! equal documents always render byte-identically — the property the
+//! determinism test suite asserts across worker-thread counts.
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+mod parse;
+
+/// Parse or shape error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    Ok(T::from_value(&v)?)
+}
+
+/// Parses JSON bytes (UTF-8) into any deserializable type.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid utf-8: {e}")))?;
+    from_str(s)
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports object and array
+/// literals, `null`, and arbitrary Rust expressions anywhere a value is
+/// expected (converted with `Value::from`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        let mut items: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        let out = &mut items;
+        $crate::json_elems!(out; $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        let mut map = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $crate::json_entries!(map; $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+/// Internal support for `json!`: serializes through a reference so
+/// expressions naming borrowed fields need no clone.
+#[doc(hidden)]
+pub fn value_of<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Internal: munches `"key": value` pairs into `$map`. Values are token
+/// trees accumulated until a top-level comma, then re-dispatched
+/// through `json!` (commas inside parens/brackets/braces are already
+/// grouped, so only genuine separators split values).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; ,) => {};
+    ($map:ident; $key:literal : $($rest:tt)*) => {
+        $crate::json_entry_value!($map; $key; []; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entry_value {
+    ($map:ident; $key:literal; [$($val:tt)*];) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)*));
+    };
+    ($map:ident; $key:literal; [$($val:tt)*]; , $($rest:tt)*) => {
+        $map.insert(::std::string::String::from($key), $crate::json!($($val)*));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal; [$($val:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_entry_value!($map; $key; [$($val)* $next]; $($rest)*);
+    };
+}
+
+/// Internal: munches array elements into `$items`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elems {
+    ($items:ident;) => {};
+    ($items:ident; ,) => {};
+    ($items:ident; $($rest:tt)*) => {
+        $crate::json_elem_value!($items; []; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_elem_value {
+    ($items:ident; [$($val:tt)*];) => {
+        $items.push($crate::json!($($val)*));
+    };
+    ($items:ident; [$($val:tt)*]; , $($rest:tt)*) => {
+        $items.push($crate::json!($($val)*));
+        $crate::json_elems!($items; $($rest)*);
+    };
+    ($items:ident; [$($val:tt)*]; $next:tt $($rest:tt)*) => {
+        $crate::json_elem_value!($items; [$($val)* $next]; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let kind = "leak".to_string();
+        let labels: Vec<u32> = vec![1, 2];
+        let doc = json!({
+            "kind": kind,
+            "source": { "label": 3u32, "ok": true },
+            "labels": labels,
+            "count": 2usize,
+            "list": [1u32, 2u32, { "x": null }],
+        });
+        assert_eq!(doc["kind"], "leak");
+        assert_eq!(doc["source"]["label"].as_u64(), Some(3));
+        assert_eq!(doc["source"]["ok"], true);
+        assert_eq!(doc["labels"].as_array().unwrap().len(), 2);
+        assert!(doc["list"][2]["x"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let doc = json!({ "a": [1u32, 2u32], "b": "x\"y", "c": -3i32, "d": 1.5f64 });
+        let text = to_string(&doc).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+        let pretty = to_string_pretty(&doc).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, doc);
+    }
+
+    #[test]
+    fn from_slice_parses_bytes() {
+        let v: Value = from_slice(b"{\"k\": [true, null, 7]}").unwrap();
+        assert_eq!(v["k"][0], true);
+        assert!(v["k"][1].is_null());
+        assert_eq!(v["k"][2].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
