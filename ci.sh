@@ -8,4 +8,8 @@ set -eux
 cargo build --release --offline
 cargo test -q --workspace --offline
 cargo clippy --workspace --offline -- -D warnings
+# Differential oracle suite over its fixed 16-seed corpus, serially and
+# with the parallel front-end, so witness replay sees both configurations.
+cargo test -q --offline --test oracle_differential
+CANARY_TEST_THREADS=2 cargo test -q --offline --test oracle_differential
 CANARY_TEST_THREADS=2 cargo test -q --workspace --offline

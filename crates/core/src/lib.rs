@@ -54,6 +54,7 @@ use canary_smt::TermPool;
 
 pub use canary_detect::{self as detect};
 pub use canary_ir::{self as ir};
+pub use canary_oracle::{self as oracle};
 pub use canary_smt::{self as smt};
 
 /// Pipeline configuration.
@@ -80,6 +81,12 @@ pub struct CanaryConfig {
     /// Defaults to `1`, or to `CANARY_TEST_THREADS` when set (so test
     /// suites can sweep worker counts without code changes).
     pub threads: usize,
+    /// Concretely replay each confirmed report's witness schedule with
+    /// the `canary-oracle` interpreter and record the outcomes in
+    /// [`AnalysisOutcome::witness_replays`]. Off by default (the static
+    /// result is unchanged; this buys executable evidence at the cost
+    /// of one interpreter run per report).
+    pub verify_witnesses: bool,
 }
 
 impl Default for CanaryConfig {
@@ -96,6 +103,7 @@ impl Default for CanaryConfig {
             ],
             context_depth: 0,
             threads: default_threads(),
+            verify_witnesses: false,
         }
     }
 }
@@ -156,6 +164,11 @@ pub struct Metrics {
     pub dataflow_phase: PhaseStats,
     /// Scheduling shape of the Alg. 2 phase.
     pub interference_phase: PhaseStats,
+    /// Witness schedules replayed by the concrete oracle (0 unless
+    /// [`CanaryConfig::verify_witnesses`] is on).
+    pub witnesses_checked: usize,
+    /// Replays that concretely fired the claimed bug.
+    pub witnesses_confirmed: usize,
 }
 
 impl Metrics {
@@ -183,6 +196,11 @@ pub struct AnalysisOutcome {
     /// Dismissed candidates with minimized refutation cores, when
     /// [`DetectOptions::explain_refutations`] is on.
     pub refuted: Vec<RefutedCandidate>,
+    /// Per-report concrete replay outcomes, aligned with `reports`,
+    /// when [`CanaryConfig::verify_witnesses`] is on (empty otherwise).
+    /// The replay runs against the analyzed (possibly context-cloned)
+    /// program, matching the labels the reports use.
+    pub witness_replays: Vec<canary_oracle::ReplayResult>,
 }
 
 impl AnalysisOutcome {
@@ -310,11 +328,23 @@ impl Canary {
         metrics.t_detect = t0.elapsed();
         metrics.detect = stats;
         metrics.term_count = pool.len();
+        let witness_replays = if self.config.verify_witnesses {
+            let replays: Vec<canary_oracle::ReplayResult> = reports
+                .iter()
+                .map(|r| canary_oracle::replay_report(prog, r))
+                .collect();
+            metrics.witnesses_checked = replays.len();
+            metrics.witnesses_confirmed = replays.iter().filter(|r| r.confirmed()).count();
+            replays
+        } else {
+            Vec::new()
+        };
         AnalysisOutcome {
             reports,
             metrics,
             analyzed_program: None,
             refuted,
+            witness_replays,
         }
     }
 
@@ -428,6 +458,42 @@ mod tests {
         let outcome = Canary::new().analyze(&prog);
         let text = outcome.render(&prog);
         assert!(text.contains("use-after-free"));
+    }
+
+    #[test]
+    fn verify_witnesses_confirms_reports() {
+        let config = CanaryConfig {
+            verify_witnesses: true,
+            ..CanaryConfig::default()
+        };
+        let outcome = Canary::with_config(config)
+            .analyze_source(
+                "fn main() { p = alloc o; fork t w(p); free p; }
+                 fn w(q) { use q; }",
+            )
+            .unwrap();
+        assert!(!outcome.reports.is_empty());
+        assert_eq!(outcome.witness_replays.len(), outcome.reports.len());
+        assert_eq!(
+            outcome.metrics.witnesses_checked,
+            outcome.reports.len()
+        );
+        assert_eq!(
+            outcome.metrics.witnesses_confirmed,
+            outcome.reports.len(),
+            "replays: {:?}",
+            outcome.witness_replays
+        );
+        assert!(outcome.witness_replays.iter().all(|r| r.confirmed()));
+    }
+
+    #[test]
+    fn verification_off_by_default() {
+        let outcome = Canary::new()
+            .analyze_source("fn main() { p = alloc o; free p; use p; }")
+            .unwrap();
+        assert!(outcome.witness_replays.is_empty());
+        assert_eq!(outcome.metrics.witnesses_checked, 0);
     }
 
     #[test]

@@ -262,15 +262,26 @@ fn validate(
             continue;
         }
         // Extract one concrete interleaving for the report (§2): a
-        // topological order of the model's order atoms.
-        cand.report.schedule = canary_smt::check_witness(pool, cand.query, &solver_stats)
-            .unwrap_or_default()
-            .into_iter()
-            .map(Label)
-            .collect();
+        // topological order of the model's order atoms, completed with
+        // the fork/join sites the oracle needs to replay it, plus the
+        // model's branch directions.
+        if let Some(w) = canary_smt::check_witness_model(pool, cand.query, &solver_stats) {
+            cand.report.guards = w
+                .bools
+                .iter()
+                .map(|&(i, v)| (canary_ir::CondId(i), v))
+                .collect();
+            let witness: Vec<Label> = w.events.into_iter().map(Label).collect();
+            cand.report.schedule = crate::schedule::complete_schedule(
+                ctx.prog,
+                ctx.mhp.order_graph(),
+                &witness,
+                cand.report.source,
+                cand.report.sink,
+            );
+        }
         out.push(cand.report);
     }
-    let _ = ctx;
     stats.confirmed += out.len();
     out.sort_by_key(|r| (r.source, r.sink));
     refuted.sort_by_key(|r| (r.source, r.sink));
@@ -516,6 +527,7 @@ fn finish_candidate(
             inter_thread,
             constraint: pool.render(query),
             schedule: Vec::new(),
+            guards: Vec::new(),
         },
     })
 }

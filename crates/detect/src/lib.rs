@@ -25,6 +25,7 @@ pub mod constraints;
 pub mod detector;
 pub mod path;
 pub mod report;
+pub mod schedule;
 pub mod sync;
 
 pub use detector::{
@@ -33,6 +34,7 @@ pub use detector::{
 };
 pub use path::{enumerate_paths, PathLimits, VfPath};
 pub use report::{BugKind, BugReport};
+pub use schedule::complete_schedule;
 pub use sync::{LockRegion, SyncModel};
 
 #[cfg(test)]

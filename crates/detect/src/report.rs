@@ -7,10 +7,10 @@
 
 use std::fmt;
 
-use canary_ir::{Label, Program};
+use canary_ir::{CondId, Label, Program};
 
 /// The property class of a finding.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum BugKind {
     /// A freed value is dereferenced later (possibly in another thread).
     UseAfterFree,
@@ -49,10 +49,17 @@ pub struct BugReport {
     pub inter_thread: bool,
     /// Human-readable rendering of the aggregated constraint.
     pub constraint: String,
-    /// A concrete witness interleaving: the constrained events in one
-    /// sequentially consistent execution order satisfying `Φ_all`
-    /// (extracted from the SMT model; §2's debugging aid).
+    /// A concrete witness interleaving: a complete replayable prefix of
+    /// one sequentially consistent execution satisfying `Φ_all` — the
+    /// constrained events of the SMT model, closed under the fork/join
+    /// sites that must run for them to execute, in one total order
+    /// (§2's debugging aid, executable by `canary-oracle`).
     pub schedule: Vec<Label>,
+    /// The branch-atom valuation of the witnessing SMT model, as sorted
+    /// `(cond, value)` pairs: the branch directions a concrete replay
+    /// of [`BugReport::schedule`] must take. Atoms absent here were
+    /// unconstrained in the model.
+    pub guards: Vec<(CondId, bool)>,
 }
 
 impl BugReport {
@@ -114,6 +121,7 @@ mod tests {
             inter_thread: false,
             constraint: "true".into(),
             schedule: vec![prog.free_sites()[0], prog.deref_sites()[0]],
+            guards: Vec::new(),
         };
         let text = report.render(&prog);
         assert!(text.contains("use-after-free"));

@@ -21,6 +21,10 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
             contradiction_patterns: 2,
             handshake_patterns: 1,
             order_fp_patterns: 1,
+            double_free: 0,
+            null_deref: 0,
+            leak: 0,
+            filler: true,
         },
     )
 }

@@ -223,6 +223,21 @@ impl FuncBody<'_> {
         l
     }
 
+    /// The label of the most recently emitted instruction. Useful when a
+    /// caller needs the label of a statement whose emitter returns a
+    /// [`VarId`] (loads, stores, null/taint assignments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no instruction has been emitted yet.
+    pub fn last_label(&self) -> Label {
+        assert!(
+            !self.b.prog.stmts.is_empty(),
+            "last_label before any instruction"
+        );
+        Label::new(self.b.prog.stmts.len() as u32 - 1)
+    }
+
     fn new_block(&mut self) -> BlockId {
         let f = &mut self.b.prog.funcs[self.func.index()];
         let id = BlockId::new(f.blocks.len() as u32);

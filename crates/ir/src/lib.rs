@@ -45,6 +45,7 @@ pub mod order;
 pub mod parser;
 pub mod printer;
 pub mod program;
+pub mod step;
 pub mod threads;
 
 pub use builder::{FuncBody, ProgramBuilder};
@@ -58,4 +59,5 @@ pub use order::OrderGraph;
 pub use parser::{parse, parse_with, ParseError, ParseOptions};
 pub use printer::{print_program, render_inst};
 pub use program::{ObjInfo, Program, Stmt, ThreadInfo, ValidationError, VarInfo};
+pub use step::{block_reaches, Cursor, StepPoint};
 pub use threads::ThreadStructure;

@@ -1,0 +1,225 @@
+//! Schedule replay: executing a static report's witness concretely.
+//!
+//! A Canary report carries a witness schedule (the SMT model's ordered
+//! events, completed with fork/join sites) and the model's branch
+//! directions. [`replay`] drives the [`Machine`] so that the scheduled
+//! labels execute in exactly the claimed order — every *unscheduled*
+//! statement runs as early as possible, every scheduled one waits for
+//! its turn — and checks that the claimed source/sink pair concretely
+//! fires. This is the executable reading of Defn. 2: the schedule is
+//! one sequentially consistent interleaving, and replay confirms the
+//! value flow is realized by it, not merely consistent with it.
+
+use std::collections::HashSet;
+
+use canary_detect::{BugKind, BugReport};
+use canary_ir::{block_reaches, CondExpr, Label, Program, StepPoint, Terminator};
+
+use crate::machine::{Hit, Machine, Poll, ThreadState, Valuation};
+
+/// Safety cap on interpreter steps (bounded programs terminate, but a
+/// malformed schedule could otherwise spin on barred threads).
+const STEP_BUDGET: usize = 1_000_000;
+
+/// The outcome of replaying one witness.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplayResult {
+    /// The claimed bug fired at the claimed source/sink pair.
+    Confirmed {
+        /// Labeled instructions executed before the bug fired.
+        steps: usize,
+    },
+    /// The replay did not confirm the claim.
+    Failed(ReplayFailure),
+}
+
+impl ReplayResult {
+    /// Whether the replay confirmed the claim.
+    pub fn confirmed(&self) -> bool {
+        matches!(self, ReplayResult::Confirmed { .. })
+    }
+}
+
+/// Why a replay failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplayFailure {
+    /// No thread can move: a scheduled label is unreachable, or the
+    /// schedule orders events against a join/lock/wait dependency.
+    Deadlock {
+        /// The next unconsumed schedule entry, if any.
+        waiting_for: Option<Label>,
+    },
+    /// Execution ran to completion without the claimed bug firing.
+    NoBug {
+        /// The bugs that *did* fire, if any.
+        observed: Vec<Hit>,
+    },
+    /// The step budget was exhausted.
+    Budget,
+}
+
+/// Replays `schedule` under the branch directions in `guards` and
+/// reports whether a `kind` bug at `(source, sink)` concretely fires.
+///
+/// Scheduled labels execute in the given order; unscheduled statements
+/// run eagerly (lowest thread index first) between them. Branch atoms
+/// not covered by `guards` are steered toward the owning thread's next
+/// scheduled label when exactly one arm reaches it, else default to
+/// the else-arm.
+pub fn replay(
+    prog: &Program,
+    kind: BugKind,
+    source: Label,
+    sink: Label,
+    schedule: &[Label],
+    guards: &[(canary_ir::CondId, bool)],
+) -> ReplayResult {
+    let mut m = Machine::boot(prog);
+    let mut valuation: Valuation = guards.iter().copied().collect();
+    let mut next = 0usize;
+    let mut observed: Vec<Hit> = Vec::new();
+    let mut steps = 0usize;
+    let matched = |h: &Hit| {
+        h.kind == kind
+            && ((h.source, h.sink) == (source, sink)
+                // Double-free pairs are unordered: either free may be
+                // the one the schedule runs second.
+                || (kind == BugKind::DoubleFree && (h.source, h.sink) == (sink, source)))
+    };
+    while steps < STEP_BUDGET {
+        let remaining = &schedule[next..];
+        let mut head_thread = None;
+        let mut stepped = false;
+        for t in 0..m.threads.len() {
+            let label = match poll_resolved(&mut m, prog, &mut valuation, t, remaining) {
+                Poll::ReadyAt(l) => l,
+                _ => continue,
+            };
+            if remaining.first() == Some(&label) {
+                head_thread = Some(t);
+                continue;
+            }
+            if remaining.contains(&label) {
+                continue; // barred: scheduled for later
+            }
+            // Free step: not schedule-constrained, run it now.
+            steps += 1;
+            if let Some(h) = m.step(prog, t) {
+                if matched(&h) {
+                    return ReplayResult::Confirmed { steps };
+                }
+                observed.push(h);
+            }
+            stepped = true;
+            break;
+        }
+        if stepped {
+            continue;
+        }
+        if let Some(t) = head_thread {
+            next += 1;
+            steps += 1;
+            if let Some(h) = m.step(prog, t) {
+                if matched(&h) {
+                    return ReplayResult::Confirmed { steps };
+                }
+                observed.push(h);
+            }
+            continue;
+        }
+        if m.all_done() {
+            return ReplayResult::Failed(ReplayFailure::NoBug { observed });
+        }
+        return ReplayResult::Failed(ReplayFailure::Deadlock {
+            waiting_for: schedule.get(next).copied(),
+        });
+    }
+    ReplayResult::Failed(ReplayFailure::Budget)
+}
+
+/// Replays a detector report against the program it was produced from.
+pub fn replay_report(prog: &Program, report: &BugReport) -> ReplayResult {
+    replay(
+        prog,
+        report.kind,
+        report.source,
+        report.sink,
+        &report.schedule,
+        &report.guards,
+    )
+}
+
+/// Polls thread `t`, resolving open branch atoms as they surface:
+/// steered toward the thread's earliest remaining scheduled label when
+/// exactly one arm reaches it, defaulting to the else-arm otherwise.
+fn poll_resolved(
+    m: &mut Machine,
+    prog: &Program,
+    valuation: &mut Valuation,
+    t: usize,
+    remaining: &[Label],
+) -> Poll {
+    loop {
+        match m.poll(prog, valuation, t) {
+            Poll::NeedsCond(c) => {
+                let v = steer(m, prog, t, c, remaining).unwrap_or(false);
+                valuation.insert(c, v);
+            }
+            p => return p,
+        }
+    }
+}
+
+/// Picks the value of atom `c` that routes thread `t` toward its next
+/// scheduled label, when that is unambiguous.
+fn steer(
+    m: &Machine,
+    prog: &Program,
+    t: usize,
+    c: canary_ir::CondId,
+    remaining: &[Label],
+) -> Option<bool> {
+    let ThreadState::Ready(stack) = &m.threads[t] else {
+        return None;
+    };
+    let cursor = stack.last()?.cursor;
+    let StepPoint::Term(Terminator::Branch {
+        cond,
+        then_blk,
+        else_blk,
+    }) = cursor.point(prog)
+    else {
+        return None;
+    };
+    let CondExpr::Atom { cond: atom, negated } = *cond else {
+        return None;
+    };
+    if atom != c {
+        return None;
+    }
+    for &l in remaining {
+        if prog.func_of(l) != cursor.func {
+            continue;
+        }
+        let via_then = block_reaches(prog, cursor.func, *then_blk, l);
+        let via_else = block_reaches(prog, cursor.func, *else_blk, l);
+        match (via_then, via_else) {
+            (true, false) => return Some(!negated),
+            (false, true) => return Some(negated),
+            _ => continue, // both arms reach it (it's past the join) or neither
+        }
+    }
+    None
+}
+
+/// Returns the labels of `schedule` that can never replay — duplicates
+/// and labels of functions executed more than once confuse the barrier
+/// discipline; diagnostics use this to explain a deadlock.
+pub fn schedule_duplicates(schedule: &[Label]) -> Vec<Label> {
+    let mut seen = HashSet::new();
+    schedule
+        .iter()
+        .copied()
+        .filter(|l| !seen.insert(*l))
+        .collect()
+}

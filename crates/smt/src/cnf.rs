@@ -25,7 +25,9 @@ pub struct Encoding {
 
 impl Encoding {
     /// The order atoms in a propositional model, oriented by the model.
-    /// Returns `(from, to, var)` triples.
+    /// Returns `(from, to, var)` triples, sorted by edge for
+    /// determinism (the backing map iterates in hash order, which
+    /// would otherwise leak into theory-lemma and witness extraction).
     pub fn oriented_edges(&self, model: &[bool]) -> Vec<(EventId, EventId, Var)> {
         let mut out = Vec::with_capacity(self.order_vars.len());
         for (&(a, b), &v) in &self.order_vars {
@@ -35,6 +37,19 @@ impl Encoding {
                 out.push((b, a, v));
             }
         }
+        out.sort_unstable();
+        out
+    }
+
+    /// The Boolean-atom assignment in a propositional model, as sorted
+    /// `(atom index, value)` pairs.
+    pub fn bool_assignment(&self, model: &[bool]) -> Vec<(u32, bool)> {
+        let mut out: Vec<(u32, bool)> = self
+            .bool_vars
+            .iter()
+            .map(|(&atom, &v)| (atom, model[v.index()]))
+            .collect();
+        out.sort_unstable();
         out
     }
 }

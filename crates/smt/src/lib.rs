@@ -54,7 +54,10 @@ pub use cnf::{encode, Encoding};
 pub use core::{check_conjunction, minimal_core};
 pub use sat::{Lit, SatResult, SatSolver, SatStats, Var};
 pub use simplify::{obviously_false, obviously_true};
-pub use solver::{check, check_all, check_witness, SmtResult, SolverOptions, SolverStats};
+pub use solver::{
+    check, check_all, check_witness, check_witness_model, SmtResult, SolverOptions, SolverStats,
+    WitnessModel,
+};
 pub use scratch::{ScratchLog, ScratchPool, TermRemap};
 pub use term::{AtomSet, EventId, Node, TermBuild, TermId, TermPool};
 pub use theory::{check_orders, orders_consistent, OrderEdge, TheoryResult};

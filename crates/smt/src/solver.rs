@@ -213,6 +213,23 @@ fn pick_split_atoms(pool: &TermPool, t: TermId, k: usize) -> Vec<u32> {
     atoms.into_iter().take(k).map(|(a, _)| a).collect()
 }
 
+/// A satisfying theory model of a query, in replay-friendly form: the
+/// order-constrained events arranged in one concrete sequentially
+/// consistent execution order, plus the Boolean-atom assignment the
+/// model chose (the branch-atom valuation a concrete replay must run
+/// under).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WitnessModel {
+    /// Events of the query in one theory-consistent total order
+    /// (a topological order of the model's oriented order atoms).
+    /// Events that appear in no order atom are omitted — their
+    /// position is unconstrained.
+    pub events: Vec<crate::term::EventId>,
+    /// The model's Boolean-atom assignment as sorted
+    /// `(atom index, value)` pairs.
+    pub bools: Vec<(u32, bool)>,
+}
+
 /// A satisfying witness: the events of the query arranged in one
 /// concrete sequentially consistent execution order (a topological
 /// order of the model's oriented order atoms).
@@ -224,6 +241,17 @@ pub fn check_witness(
     t: TermId,
     stats: &SolverStats,
 ) -> Option<Vec<crate::term::EventId>> {
+    check_witness_model(pool, t, stats).map(|w| w.events)
+}
+
+/// Like [`check_witness`], additionally returning the Boolean-atom
+/// assignment of the model — everything a concrete interpreter needs
+/// to replay the witness (schedule + branch valuation).
+pub fn check_witness_model(
+    pool: &TermPool,
+    t: TermId,
+    stats: &SolverStats,
+) -> Option<WitnessModel> {
     let mut sat = SatSolver::new();
     let mut enc = Encoding::default();
     encode(pool, t, &mut sat, &mut enc);
@@ -242,7 +270,10 @@ pub fn check_witness(
                     .collect();
                 match check_orders(&edges) {
                     TheoryResult::Consistent => {
-                        return Some(topological_events(&oriented));
+                        return Some(WitnessModel {
+                            events: topological_events(&oriented),
+                            bools: enc.bool_assignment(&model),
+                        });
                     }
                     TheoryResult::Conflict(vars) => {
                         stats.theory_lemmas.fetch_add(1, Ordering::Relaxed);

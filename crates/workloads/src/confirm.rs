@@ -1,0 +1,66 @@
+//! Concrete confirmation of generated ground truth.
+//!
+//! Each seeded bug carries a witness schedule chosen at generation
+//! time; replaying it through the oracle interpreter proves the bug is
+//! *executably* reachable, not merely intended. The differential
+//! harness calls [`confirm_ground_truth`] before trusting a workload's
+//! truth labels — a generator regression that breaks a pattern (wrong
+//! publication order, accidental join) shows up here as a failed
+//! replay, instead of silently skewing precision numbers.
+
+use canary_ir::Program;
+use canary_oracle::{replay, ReplayResult};
+
+use crate::generator::{SeededBug, Workload};
+
+/// Replays one seeded bug's schedule through the oracle.
+pub fn confirm_seeded(prog: &Program, bug: &SeededBug) -> ReplayResult {
+    replay(prog, bug.kind, bug.source, bug.sink, &bug.schedule, &[])
+}
+
+/// Replays every seeded bug of a workload and returns the ones that
+/// did **not** fire, with the replay outcome explaining why. An empty
+/// result means the ground truth is executably confirmed.
+pub fn confirm_ground_truth(w: &Workload) -> Vec<(SeededBug, ReplayResult)> {
+    w.truth
+        .seeded
+        .iter()
+        .map(|b| (b.clone(), confirm_seeded(&w.prog, b)))
+        .filter(|(_, r)| !r.confirmed())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::spec::WorkloadSpec;
+    use canary_detect::BugKind;
+
+    #[test]
+    fn small_workload_truth_is_executable() {
+        let w = generate(&WorkloadSpec::small(5));
+        assert!(!w.truth.seeded.is_empty());
+        let failures = confirm_ground_truth(&w);
+        assert!(failures.is_empty(), "unconfirmed: {failures:?}");
+    }
+
+    #[test]
+    fn lean_workload_seeds_all_four_checkers() {
+        let w = generate(&WorkloadSpec::lean(3));
+        let kinds: std::collections::BTreeSet<BugKind> =
+            w.truth.seeded.iter().map(|b| b.kind).collect();
+        assert_eq!(kinds.len(), 4, "{kinds:?}");
+        let failures = confirm_ground_truth(&w);
+        assert!(failures.is_empty(), "unconfirmed: {failures:?}");
+    }
+
+    #[test]
+    fn corrupted_schedule_is_rejected() {
+        let w = generate(&WorkloadSpec::lean(4));
+        let mut bug = w.truth.seeded[0].clone();
+        // Claiming the wrong sink must not confirm.
+        bug.sink = bug.source;
+        assert!(!confirm_seeded(&w.prog, &bug).confirmed());
+    }
+}

@@ -27,9 +27,27 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use canary_detect::BugKind;
 use canary_ir::{CondExpr, FuncBody, FuncId, Label, Program, ProgramBuilder, VarId};
 
 use crate::spec::WorkloadSpec;
+
+/// One seeded bug together with a concrete schedule that makes it fire
+/// in the oracle interpreter. The schedule lists the pattern's own
+/// events in a bug-exhibiting order; everything else in the program is
+/// unconstrained (the replayer free-runs it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeededBug {
+    /// The checker the bug belongs to.
+    pub kind: BugKind,
+    /// Source label: the free (first free for double-free), the null
+    /// assignment, or the taint source.
+    pub source: Label,
+    /// Sink label: the dereference, second free, or taint sink.
+    pub sink: Label,
+    /// Replayable witness schedule for `canary_oracle::replay`.
+    pub schedule: Vec<Label>,
+}
 
 /// Ground truth for one generated workload.
 #[derive(Clone, Debug, Default)]
@@ -42,6 +60,10 @@ pub struct GroundTruth {
     /// Number of contradiction/ordered patterns seeded (baseline-only
     /// false positives; no label pair is a real bug).
     pub infeasible_patterns: usize,
+    /// Every seeded real bug — the UAFs of `uaf_bugs` plus the
+    /// double-free / null-deref / leak patterns — with an oracle
+    /// schedule certifying it is concretely reachable.
+    pub seeded: Vec<SeededBug>,
 }
 
 /// A generated workload.
@@ -110,14 +132,26 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
 
     // --- declare functions up front so names resolve ----------------
     let main = b.func("main", &[]);
-    let workers: Vec<FuncId> = (0..spec.threads)
-        .map(|i| b.func(&format!("worker_{i}"), &["ca", "cb"]))
-        .collect();
-    let pick = b.func("pick", &["pa", "pb"]);
+    let workers: Vec<FuncId> = if spec.filler {
+        (0..spec.threads)
+            .map(|i| b.func(&format!("worker_{i}"), &["ca", "cb"]))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let pick: Option<FuncId> = if spec.filler {
+        Some(b.func("pick", &["pa", "pb"]))
+    } else {
+        None
+    };
     let n_helpers = 2 + spec.threads;
-    let helpers: Vec<FuncId> = (0..n_helpers)
-        .map(|i| b.func(&format!("helper_{i}"), &["p"]))
-        .collect();
+    let helpers: Vec<FuncId> = if spec.filler {
+        (0..n_helpers)
+            .map(|i| b.func(&format!("helper_{i}"), &["p"]))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let victims: Vec<FuncId> = (0..spec.true_bugs)
         .map(|i| b.func(&format!("bug_victim_{i}"), &["c"]))
         .collect();
@@ -132,6 +166,15 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         .collect();
     let order_fps: Vec<FuncId> = (0..spec.order_fp_patterns)
         .map(|i| b.func(&format!("ofp_{i}"), &[]))
+        .collect();
+    let df_victims: Vec<FuncId> = (0..spec.double_free)
+        .map(|i| b.func(&format!("df_victim_{i}"), &["c"]))
+        .collect();
+    let np_victims: Vec<FuncId> = (0..spec.null_deref)
+        .map(|i| b.func(&format!("np_victim_{i}"), &["c"]))
+        .collect();
+    let lk_victims: Vec<FuncId> = (0..spec.leak)
+        .map(|i| b.func(&format!("lk_victim_{i}"), &["c"]))
         .collect();
 
     // --- helper library ---------------------------------------------
@@ -154,7 +197,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     // worker's web cells conflate into one alias class — the cascade
     // that makes exhaustive points-to blow up on large programs.
     // Canary's per-call-site summary substitution keeps them separate.
-    {
+    if let Some(pick) = pick {
         let mut f = b.body(pick);
         let pa = f.var("pa");
         let pb = f.var("pb");
@@ -166,12 +209,46 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     }
 
     // --- victims -----------------------------------------------------
+    let mut uaf_loads: Vec<Label> = Vec::new();
     for (i, &v) in victims.iter().enumerate() {
         let mut f = b.body(v);
         let c = f.var("c");
         let x = f.load(&format!("bx_{i}"), c);
+        uaf_loads.push(f.last_label());
         let use_label = f.deref(x);
         truth.uaf_bugs.push((Label::new(0), use_label)); // free patched below
+    }
+    // Double-free victims: load the published value and free it — the
+    // second (racy) free happens in main. (load, victim free) pairs.
+    let mut df_partial: Vec<(Label, Label)> = Vec::new();
+    for (i, &v) in df_victims.iter().enumerate() {
+        let mut f = b.body(v);
+        let c = f.var("c");
+        let x = f.load(&format!("dfx_{i}"), c);
+        let load_l = f.last_label();
+        let free_l = f.free(x);
+        df_partial.push((load_l, free_l));
+    }
+    // Null-deref victims: plain readers of a cell main nulls out after
+    // forking them. (load, deref) pairs.
+    let mut np_partial: Vec<(Label, Label)> = Vec::new();
+    for (i, &v) in np_victims.iter().enumerate() {
+        let mut f = b.body(v);
+        let c = f.var("c");
+        let x = f.load(&format!("npx_{i}"), c);
+        let load_l = f.last_label();
+        let deref_l = f.deref(x);
+        np_partial.push((load_l, deref_l));
+    }
+    // Leak victims: pass the loaded value to a sink. (load, sink) pairs.
+    let mut lk_partial: Vec<(Label, Label)> = Vec::new();
+    for (i, &v) in lk_victims.iter().enumerate() {
+        let mut f = b.body(v);
+        let c = f.var("c");
+        let x = f.load(&format!("lkx_{i}"), c);
+        let load_l = f.last_label();
+        let sink_l = f.taint_sink(x);
+        lk_partial.push((load_l, sink_l));
     }
     for (i, &v) in benign_victims.iter().enumerate() {
         let mut f = b.body(v);
@@ -234,7 +311,11 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     // --- main's filler chunks -----------------------------------------
     const MAIN_CHUNK: usize = 96;
     let main_budget = spec.target_stmts / (spec.threads + 1);
-    let n_main_chunks = (main_budget / MAIN_CHUNK).max(1);
+    let n_main_chunks = if spec.filler {
+        (main_budget / MAIN_CHUNK).max(1)
+    } else {
+        0
+    };
     let main_chunks: Vec<FuncId> = (0..n_main_chunks)
         .map(|k| b.func(&format!("m_chunk_{k}"), &[]))
         .collect();
@@ -267,6 +348,60 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     for (i, val) in pending_frees {
         let free_label = f.free(val);
         truth.uaf_bugs[i].0 = free_label;
+        truth.seeded.push(SeededBug {
+            kind: BugKind::UseAfterFree,
+            source: free_label,
+            sink: truth.uaf_bugs[i].1,
+            schedule: vec![uaf_loads[i], free_label, truth.uaf_bugs[i].1],
+        });
+    }
+    // Racy double frees: the victim's free and main's free of the same
+    // value are unordered. Victim bodies precede main, so the pair is
+    // already normalized source < sink.
+    for (i, &(load_l, victim_free)) in df_partial.iter().enumerate() {
+        let cell = f.alloc(&format!("dfcell_{i}"), &format!("dfcell_o_{i}"));
+        let val = f.alloc(&format!("dfval_{i}"), &format!("dfobj_{i}"));
+        f.store(cell, val);
+        f.fork(&format!("dft_{i}"), &format!("df_victim_{i}"), &[cell]);
+        let main_free = f.free(val);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::DoubleFree,
+            source: victim_free,
+            sink: main_free,
+            schedule: vec![load_l, victim_free, main_free],
+        });
+    }
+    // Null publications racing a forked reader.
+    for (i, &(load_l, deref_l)) in np_partial.iter().enumerate() {
+        let cell = f.alloc(&format!("npcell_{i}"), &format!("npcell_o_{i}"));
+        let val = f.alloc(&format!("npinit_{i}"), &format!("npval_{i}"));
+        f.store(cell, val);
+        f.fork(&format!("npt_{i}"), &format!("np_victim_{i}"), &[cell]);
+        let n = f.null(&format!("npnull_{i}"));
+        let null_l = f.last_label();
+        f.store(cell, n);
+        let store_l = f.last_label();
+        truth.seeded.push(SeededBug {
+            kind: BugKind::NullDeref,
+            source: null_l,
+            sink: deref_l,
+            schedule: vec![null_l, store_l, load_l, deref_l],
+        });
+    }
+    // Taint published into a cell a forked reader sinks from.
+    for (i, &(load_l, sink_l)) in lk_partial.iter().enumerate() {
+        let cell = f.alloc(&format!("lkcell_{i}"), &format!("lkcell_o_{i}"));
+        let s = f.taint_source(&format!("lksrc_{i}"));
+        let taint_l = f.last_label();
+        f.store(cell, s);
+        let store_l = f.last_label();
+        f.fork(&format!("lkt_{i}"), &format!("lk_victim_{i}"), &[cell]);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::DataLeak,
+            source: taint_l,
+            sink: sink_l,
+            schedule: vec![taint_l, store_l, load_l, sink_l],
+        });
     }
     // Benign patterns: the free is guarded by an *independent* atom.
     for i in 0..spec.benign_patterns {
@@ -341,7 +476,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         f.call(&[], &format!("m_chunk_{k}"), &[]);
     }
     // Join half the workers, then read the cells.
-    for j in 0..spec.threads / 2 {
+    for j in 0..workers.len() / 2 {
         f.join(&format!("t_{j}"));
     }
     for (i, &c) in cells.iter().enumerate() {

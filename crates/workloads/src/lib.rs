@@ -23,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod confirm;
 pub mod generator;
 pub mod spec;
 
-pub use generator::{evaluate, generate, Eval, GroundTruth, Workload};
+pub use confirm::{confirm_ground_truth, confirm_seeded};
+pub use generator::{evaluate, generate, Eval, GroundTruth, SeededBug, Workload};
 pub use spec::{table1_suite, SubjectRow, SuiteScale, WorkloadSpec, TABLE1_SUBJECTS};
 
 #[cfg(test)]
@@ -93,6 +95,7 @@ mod tests {
             uaf_bugs: vec![(Label::new(1), Label::new(2))],
             benign: vec![(Label::new(3), Label::new(4))],
             infeasible_patterns: 1,
+            seeded: Vec::new(),
         };
         let eval = evaluate(
             &truth,

@@ -43,6 +43,20 @@ pub struct WorkloadSpec {
     /// def-use (Fsam) and by the order constraints (Canary). These drive
     /// the Saber ≫ Fsam report-volume gap of Tbl. 1.
     pub order_fp_patterns: usize,
+    /// Seeded racy inter-thread double frees: a forked victim loads the
+    /// published value and frees it while main frees it unordered.
+    pub double_free: usize,
+    /// Seeded inter-thread null dereferences: main publishes a null
+    /// sentinel into a cell a forked reader dereferences from.
+    pub null_deref: usize,
+    /// Seeded taint leaks: main publishes a taint source into a cell; a
+    /// forked reader passes the loaded value to a sink.
+    pub leak: usize,
+    /// Emit the size filler (helper library, `pick` conflation, worker
+    /// threads, alias webs, statement filler). Disable for *lean*
+    /// workloads small enough for the oracle's exhaustive interleaving
+    /// enumeration in the differential tests.
+    pub filler: bool,
 }
 
 impl WorkloadSpec {
@@ -59,6 +73,34 @@ impl WorkloadSpec {
             contradiction_patterns: 2,
             handshake_patterns: 1,
             order_fp_patterns: 2,
+            double_free: 0,
+            null_deref: 0,
+            leak: 0,
+            filler: true,
+        }
+    }
+
+    /// A filler-free spec covering all four checkers, small enough that
+    /// `canary_oracle::explore` can exhaustively enumerate its
+    /// interleavings. The differential harness replays its seeded
+    /// schedules and cross-checks the static reports against the
+    /// enumerated ground truth.
+    pub fn lean(seed: u64) -> Self {
+        WorkloadSpec {
+            name: format!("lean-{seed}"),
+            seed,
+            target_stmts: 0,
+            threads: 0,
+            shared_cells: 2,
+            true_bugs: 1,
+            benign_patterns: 0,
+            contradiction_patterns: 1,
+            handshake_patterns: 1,
+            order_fp_patterns: 1,
+            double_free: 1,
+            null_deref: 1,
+            leak: 1,
+            filler: false,
         }
     }
 }
@@ -147,6 +189,10 @@ pub fn table1_suite(scale: SuiteScale) -> Vec<WorkloadSpec> {
                 contradiction_patterns: 2 + (stmts / 2000),
                 handshake_patterns: 1 + (stmts / 8000),
                 order_fp_patterns: 4 + (stmts / 1500),
+                double_free: 0,
+                null_deref: 0,
+                leak: 0,
+                filler: true,
             }
         })
         .collect()

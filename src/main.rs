@@ -16,6 +16,8 @@
 //!                         is byte-identical for any value)
 //!   --solver-threads N    parallel SMT query workers (default 1)
 //!   --unroll K            loop unrolling depth (default 2)
+//!   --verify-witnesses    concretely replay each report's witness
+//!                         schedule with the oracle interpreter
 //!   --stats               print per-phase metrics
 //! ```
 
@@ -33,7 +35,7 @@ fn usage() -> ! {
          [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
          [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
-         [--tool canary|saber|fsam] [--explain] [--stats]"
+         [--tool canary|saber|fsam] [--explain] [--verify-witnesses] [--stats]"
     );
     std::process::exit(2);
 }
@@ -80,6 +82,7 @@ fn parse_args(args: &[String]) -> Cli {
             }
             "--inter-thread-only" => config.detect.inter_thread_only = true,
             "--explain" => config.detect.explain_refutations = true,
+            "--verify-witnesses" => config.verify_witnesses = true,
             "--json" => json = true,
             "--stats" => stats = true,
             "--no-mhp" => {
@@ -253,8 +256,13 @@ fn main() -> ExitCode {
         let reports: Vec<serde_json::Value> = outcome
             .reports
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 serde_json::json!({
+                    "witness_replay_confirmed": outcome
+                        .witness_replays
+                        .get(i)
+                        .map(|replay| replay.confirmed()),
                     "kind": r.kind.to_string(),
                     "source": { "label": r.source.0,
                                  "stmt": canary_ir::render_inst(prog, r.source),
@@ -296,6 +304,23 @@ fn main() -> ExitCode {
             println!("canary: no bugs found in {}", cli.file);
         } else {
             println!("{}", outcome.render(prog));
+        }
+        if !outcome.witness_replays.is_empty() {
+            let m = &outcome.metrics;
+            println!(
+                "witness verification: {}/{} schedules replayed to their bug",
+                m.witnesses_confirmed, m.witnesses_checked
+            );
+            for (r, replay) in outcome.reports.iter().zip(&outcome.witness_replays) {
+                if !replay.confirmed() {
+                    println!(
+                        "  [unconfirmed] {} {} -> {}: {replay:?}",
+                        r.kind,
+                        canary_ir::render_inst(prog, r.source),
+                        canary_ir::render_inst(prog, r.sink),
+                    );
+                }
+            }
         }
         for r in &outcome.refuted {
             println!(

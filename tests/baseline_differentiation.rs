@@ -29,6 +29,10 @@ fn workload(bugs: usize, benign: usize, contra: usize, hs: usize, order_fp: usiz
         contradiction_patterns: contra,
         handshake_patterns: hs,
         order_fp_patterns: order_fp,
+        double_free: 0,
+        null_deref: 0,
+        leak: 0,
+        filler: true,
     })
 }
 

@@ -95,6 +95,10 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
             contradiction_patterns: contra,
             handshake_patterns: 1,
             order_fp_patterns: 1,
+            double_free: 0,
+            null_deref: 0,
+            leak: 0,
+            filler: true,
         })
 }
 

@@ -31,6 +31,10 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 contradiction_patterns: contra,
                 handshake_patterns: hs,
                 order_fp_patterns: hs,
+                double_free: 0,
+                null_deref: 0,
+                leak: 0,
+                filler: true,
             },
         )
 }

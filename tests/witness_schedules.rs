@@ -71,6 +71,64 @@ fn schedule_events_are_unique() {
 }
 
 #[test]
+fn schedule_is_a_complete_replayable_prefix() {
+    // The schedule must contain not just the constrained value-flow
+    // events but every fork that creates a participating thread —
+    // otherwise it cannot drive an interpreter from the initial state.
+    let src = "fn main() { p = alloc o; fork t w(p); free p; }
+               fn w(q) { use q; }";
+    let prog = parse(src).unwrap();
+    let outcome = Canary::new().analyze(&prog);
+    let report = outcome
+        .reports
+        .iter()
+        .find(|r| r.kind == BugKind::UseAfterFree)
+        .expect("uaf reported");
+    let fork = (0..u32::try_from(prog.stmt_count()).unwrap())
+        .map(canary_ir::Label::new)
+        .find(|&l| matches!(prog.inst(l), canary_ir::Inst::Fork { .. }))
+        .expect("program has a fork");
+    assert!(
+        report.schedule.contains(&fork),
+        "fork {fork} missing from witness prefix {:?}",
+        report.schedule
+    );
+    let replayed = canary_oracle::replay_report(&prog, report);
+    assert!(replayed.confirmed(), "{replayed:?}");
+}
+
+#[test]
+fn every_report_schedule_replays_to_its_bug() {
+    // Precision over a handful of shapes: heap-published pointers,
+    // guarded frees with a consistent valuation, and double frees.
+    let programs = [
+        "fn main() {
+             cell = alloc c; v = alloc o; *cell = v;
+             fork t w(cell);
+             free v;
+         }
+         fn w(slot) { x = *slot; use x; }",
+        "fn main() {
+             cell = alloc c; v = alloc o; *cell = v;
+             fork t w(cell);
+             if (g1) { free v; }
+         }
+         fn w(slot) { if (g1) { x = *slot; use x; } }",
+        "fn main() { p = alloc o; fork t w(p); free p; }
+         fn w(q) { free q; }",
+    ];
+    for src in programs {
+        let prog = parse(src).unwrap();
+        let outcome = Canary::new().analyze(&prog);
+        assert!(!outcome.reports.is_empty(), "{src}");
+        for report in &outcome.reports {
+            let replayed = canary_oracle::replay_report(&prog, report);
+            assert!(replayed.confirmed(), "{report:?} -> {replayed:?}\n{src}");
+        }
+    }
+}
+
+#[test]
 fn refuted_candidates_have_no_reports_hence_no_schedules() {
     let src = r#"
         fn main(a) {
