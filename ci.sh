@@ -13,3 +13,15 @@ cargo clippy --workspace --offline -- -D warnings
 cargo test -q --offline --test oracle_differential
 CANARY_TEST_THREADS=2 cargo test -q --offline --test oracle_differential
 CANARY_TEST_THREADS=2 cargo test -q --workspace --offline
+# Trace smoke: the profiler must emit a parseable Chrome trace covering
+# all three phases plus at least one per-SMT-query span, and the trace
+# must stay byte-deterministic across worker counts (timing normalized).
+./target/release/canary examples/fig2_variant.cir --stats \
+    --trace-out /tmp/canary_trace.json || [ $? -eq 1 ]  # exit 1 = bug reported
+python3 -c 'import json; json.load(open("/tmp/canary_trace.json"))' 2>/dev/null \
+    || grep -q '"traceEvents"' /tmp/canary_trace.json
+for span in '"alg1"' '"alg2"' '"detect"' 'smt.query:'; do
+    grep -q "$span" /tmp/canary_trace.json
+done
+cargo test -q --offline --test trace
+CANARY_TEST_THREADS=2 cargo test -q --offline --test trace

@@ -12,7 +12,8 @@
 use std::time::Duration;
 
 use canary_bench::{
-    env_f64, measure_canary_vfg, measure_fsam_vfg, measure_saber_vfg, render_table, Measurement,
+    attribution_report, env_f64, measure_canary_vfg, measure_front_end, measure_fsam_vfg,
+    measure_saber_vfg, phase_breakdown, render_table, Measurement,
 };
 use canary_workloads::{generate, table1_suite, SuiteScale};
 
@@ -34,6 +35,7 @@ fn main() {
     let mut speedup_fsam: Vec<f64> = Vec::new();
     let mut saber_timeouts = 0;
     let mut fsam_timeouts = 0;
+    let mut largest: Option<(String, canary_workloads::Workload)> = None;
 
     for (i, spec) in table1_suite(scale).into_iter().enumerate() {
         let w = generate(&spec);
@@ -64,6 +66,12 @@ fn main() {
             canary.mem_cell(),
         ]);
         eprintln!("  done: {}", spec.name);
+        let bigger = largest
+            .as_ref()
+            .is_none_or(|(_, l)| l.prog.stmt_count() < w.prog.stmt_count());
+        if bigger {
+            largest = Some((spec.name.clone(), w));
+        }
     }
 
     println!(
@@ -114,4 +122,16 @@ fn main() {
             "FAIL"
         }
     );
+
+    // Drill-down on the largest subject: where Canary's front-end time
+    // goes (phases) and which functions dominate Alg. 1.
+    if let Some((name, w)) = largest {
+        let m = measure_front_end(&w, 1);
+        println!("\n## Front-end breakdown — {name} (largest subject)");
+        println!(
+            "{}",
+            render_table(&["phase", "wall(ms)", "tasks", "share(%)"], &phase_breakdown(&m))
+        );
+        print!("{}", attribution_report(&m, 5));
+    }
 }

@@ -7,7 +7,10 @@
 //!
 //! Knobs: `CANARY_BENCH_STMTS_PER_KLOC` (default 8).
 
-use canary_bench::{env_f64, linear_fit, render_table, run_canary_uaf};
+use canary_bench::{
+    attribution_report, env_f64, linear_fit, phase_breakdown, render_table,
+    run_canary_uaf_profiled,
+};
 use canary_workloads::{generate, table1_suite, SuiteScale};
 
 fn main() {
@@ -20,9 +23,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut time_pts: Vec<(f64, f64)> = Vec::new();
     let mut mem_pts: Vec<(f64, f64)> = Vec::new();
+    let mut largest: Option<(String, usize, canary_core::Metrics)> = None;
     for spec in table1_suite(scale) {
         let w = generate(&spec);
-        let (time, bytes, eval) = run_canary_uaf(&w);
+        let (time, bytes, eval, metrics) = run_canary_uaf_profiled(&w);
         let x = w.prog.stmt_count() as f64;
         let t_ms = time.as_secs_f64() * 1000.0;
         let mem_mib = bytes as f64 / (1024.0 * 1024.0);
@@ -37,6 +41,10 @@ fn main() {
             format!("{}", eval.false_positives),
         ]);
         eprintln!("  done: {}", spec.name);
+        let stmts = w.prog.stmt_count();
+        if largest.as_ref().is_none_or(|(_, n, _)| *n < stmts) {
+            largest = Some((spec.name.clone(), stmts, metrics));
+        }
     }
     println!(
         "{}",
@@ -62,4 +70,15 @@ fn main() {
         "shape check (positive slope, R² > 0.6 for both): {}",
         if shape_holds { "PASS" } else { "FAIL" }
     );
+
+    // Drill-down on the largest subject: per-phase time split and the
+    // hottest functions/SMT queries from the attribution profiles.
+    if let Some((name, _stmts, m)) = largest {
+        println!("\n## Pipeline breakdown — {name} (largest subject)");
+        println!(
+            "{}",
+            render_table(&["phase", "wall(ms)", "tasks", "share(%)"], &phase_breakdown(&m))
+        );
+        print!("{}", attribution_report(&m, 5));
+    }
 }

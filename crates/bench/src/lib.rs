@@ -120,6 +120,14 @@ pub fn measure_front_end(w: &Workload, threads: usize) -> canary_core::Metrics {
 
 /// Canary's full pipeline on one subject: (time, bytes, eval).
 pub fn run_canary_uaf(w: &Workload) -> (Duration, usize, Eval) {
+    let (time, bytes, eval, _metrics) = run_canary_uaf_profiled(w);
+    (time, bytes, eval)
+}
+
+/// [`run_canary_uaf`] keeping the full per-run [`canary_core::Metrics`]
+/// — including the per-function and per-query attribution profiles —
+/// for the Fig. 7/8 drill-down tables.
+pub fn run_canary_uaf_profiled(w: &Workload) -> (Duration, usize, Eval, canary_core::Metrics) {
     let canary = Canary::with_config(uaf_config());
     let t0 = Instant::now();
     let outcome = canary.analyze(&w.prog);
@@ -128,7 +136,96 @@ pub fn run_canary_uaf(w: &Workload) -> (Duration, usize, Eval) {
         outcome.reports.iter().map(|r| (r.source, r.sink)).collect();
     let eval = evaluate(&w.truth, &pairs);
     let bytes = outcome.metrics.vfg_bytes + outcome.metrics.term_count * 48;
-    (time, bytes, eval)
+    (time, bytes, eval, outcome.metrics)
+}
+
+/// Per-phase wall/task breakdown rows for [`render_table`] — the
+/// "where does the time go" companion to Fig. 7a/8. Columns: phase,
+/// wall(ms), tasks, share(%).
+pub fn phase_breakdown(m: &canary_core::Metrics) -> Vec<Vec<String>> {
+    let total = m.t_total().as_secs_f64().max(1e-9);
+    let row = |name: &str, wall: Duration, tasks: String| {
+        vec![
+            name.to_string(),
+            format!("{:.2}", wall.as_secs_f64() * 1e3),
+            tasks,
+            format!("{:.1}", 100.0 * wall.as_secs_f64() / total),
+        ]
+    };
+    vec![
+        row(
+            "alg1 dataflow",
+            m.t_dataflow,
+            format!("{}", m.dataflow_phase.tasks),
+        ),
+        row(
+            "alg2 interference",
+            m.t_interference,
+            format!("{}", m.interference_phase.tasks),
+        ),
+        row("detect+smt", m.t_detect, format!("{}", m.detect.queries)),
+    ]
+}
+
+/// Renders the hottest-functions / hottest-queries attribution tables
+/// from a run's profiles (empty string when no profiles were
+/// collected). The ranking is deterministic — see
+/// [`canary_core::Metrics::hottest_queries`].
+pub fn attribution_report(m: &canary_core::Metrics, k: usize) -> String {
+    let mut out = String::new();
+    let funcs = m.hottest_functions(k);
+    if !funcs.is_empty() {
+        let rows: Vec<Vec<String>> = funcs
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    format!("{}", p.stmt_visits),
+                    format!("{}", p.summary_cells),
+                    format!("{}", p.stores + p.loads),
+                    format!("{:.2}", p.wall.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect();
+        out.push_str("hottest functions (Alg. 1):\n");
+        out.push_str(&render_table(
+            &["function", "stmt-visits", "summary-cells", "mem-sites", "wall(ms)"],
+            &rows,
+        ));
+    }
+    let queries = m.hottest_queries(k);
+    if !queries.is_empty() {
+        let rows: Vec<Vec<String>> = queries
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.kind),
+                    format!("{}->{}", p.source.0, p.sink.0),
+                    format!("{}", p.path_len),
+                    format!("{}", p.bool_atoms + p.order_atoms),
+                    format!("{}", p.decisions),
+                    format!("{}", p.conflicts),
+                    if p.prefiltered {
+                        "prefilter".into()
+                    } else if p.sat {
+                        "sat".into()
+                    } else {
+                        "unsat".into()
+                    },
+                    format!("{:.2}", p.wall.as_secs_f64() * 1e3),
+                ]
+            })
+            .collect();
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("hottest SMT queries (§5):\n");
+        out.push_str(&render_table(
+            &["kind", "src->sink", "path", "atoms", "decisions", "conflicts", "result", "wall(ms)"],
+            &rows,
+        ));
+    }
+    out
 }
 
 /// A baseline's full UAF run: `None` on timeout.

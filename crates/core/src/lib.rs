@@ -44,18 +44,23 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use canary_detect::{BugKind, BugReport, DetectContext, DetectOptions, DetectStats, RefutedCandidate};
+use canary_dataflow::FuncProfile;
+use canary_detect::{
+    BugKind, BugReport, DetectContext, DetectOptions, DetectStats, QueryProfile, RefutedCandidate,
+};
 use canary_interference::{InterferenceOptions, InterferenceResult};
 use canary_ir::{
     clone_contexts, CallGraph, CloneOptions, MhpAnalysis, ParseError, ParseOptions, Program,
     ThreadStructure, ValidationError,
 };
 use canary_smt::TermPool;
+use canary_trace::{LogLevel, Tracer, LANE_PIPELINE};
 
 pub use canary_detect::{self as detect};
 pub use canary_ir::{self as ir};
 pub use canary_oracle::{self as oracle};
 pub use canary_smt::{self as smt};
+pub use canary_trace::{self as trace};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -169,6 +174,10 @@ pub struct Metrics {
     pub witnesses_checked: usize,
     /// Replays that concretely fired the claimed bug.
     pub witnesses_confirmed: usize,
+    /// Per-function Alg. 1 cost profiles, in commit order.
+    pub func_profiles: Vec<FuncProfile>,
+    /// Per-SMT-query attribution records, in checker/query order.
+    pub query_profiles: Vec<QueryProfile>,
 }
 
 impl Metrics {
@@ -180,6 +189,35 @@ impl Metrics {
     /// Total end-to-end time (the Fig. 8 quantity).
     pub fn t_total(&self) -> Duration {
         self.t_vfg() + self.t_detect
+    }
+
+    /// The `k` most expensive SMT queries, hottest first. Ranked by
+    /// deterministic solver-work counters (decisions, then conflicts,
+    /// then propagations) rather than wall time, so the selection is
+    /// byte-identical across worker counts; candidate labels break
+    /// ties.
+    pub fn hottest_queries(&self, k: usize) -> Vec<&QueryProfile> {
+        let mut v: Vec<&QueryProfile> = self.query_profiles.iter().collect();
+        v.sort_by_key(|p| {
+            (
+                std::cmp::Reverse((p.decisions, p.conflicts, p.propagations)),
+                p.source.0,
+                p.sink.0,
+                p.kind as u64,
+            )
+        });
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` most expensive Alg. 1 function analyses, hottest first.
+    /// Ranked by statement visits then transfer-function size (both
+    /// deterministic); the function index breaks ties.
+    pub fn hottest_functions(&self, k: usize) -> Vec<&FuncProfile> {
+        let mut v: Vec<&FuncProfile> = self.func_profiles.iter().collect();
+        v.sort_by_key(|p| (std::cmp::Reverse((p.stmt_visits, p.summary_cells)), p.func));
+        v.truncate(k);
+        v
     }
 }
 
@@ -285,6 +323,14 @@ impl Canary {
     /// Analyzes an already-built bounded program, applying clone-based
     /// context sensitivity first when configured.
     pub fn analyze(&self, prog: &Program) -> AnalysisOutcome {
+        self.analyze_traced(prog, &Tracer::disabled())
+    }
+
+    /// [`analyze`](Self::analyze) with spans collected into `tracer`:
+    /// pipeline-phase spans on the pipeline lane, plus the per-level /
+    /// per-round / per-query instrumentation of every phase crate. With
+    /// a disabled tracer this *is* `analyze`.
+    pub fn analyze_traced(&self, prog: &Program, tracer: &Tracer) -> AnalysisOutcome {
         if self.config.context_depth > 0 {
             let cloned = clone_contexts(
                 prog,
@@ -293,15 +339,15 @@ impl Canary {
                     ..CloneOptions::default()
                 },
             );
-            let mut outcome = self.analyze_uncloned(&cloned);
+            let mut outcome = self.analyze_uncloned(&cloned, tracer);
             outcome.analyzed_program = Some(cloned);
             return outcome;
         }
-        self.analyze_uncloned(prog)
+        self.analyze_uncloned(prog, tracer)
     }
 
-    fn analyze_uncloned(&self, prog: &Program) -> AnalysisOutcome {
-        let (mut pool, df, _ir_result, cg, ts, metrics0) = self.build_vfg(prog);
+    fn analyze_uncloned(&self, prog: &Program, tracer: &Tracer) -> AnalysisOutcome {
+        let (mut pool, df, _ir_result, cg, ts, metrics0) = self.build_vfg_traced(prog, tracer);
         let mhp = MhpAnalysis::new(prog, &cg, &ts);
         let mut metrics = metrics0;
 
@@ -314,20 +360,37 @@ impl Canary {
         let mut stats = DetectStats::default();
         let mut reports = Vec::new();
         let mut refuted = Vec::new();
-        for &kind in &self.config.checkers {
-            let (rs, refs) = canary_detect::check_kind_explained(
-                &ctx,
-                &mut pool,
-                kind,
-                &detect_opts,
-                &mut stats,
-            );
-            reports.extend(rs);
-            refuted.extend(refs);
+        let mut query_profiles = Vec::new();
+        {
+            let mut phase = tracer.span(LANE_PIPELINE, "pipeline", 2, || "detect".into());
+            for &kind in &self.config.checkers {
+                let (rs, refs, profs) = canary_detect::check_kind_traced(
+                    &ctx,
+                    &mut pool,
+                    kind,
+                    &detect_opts,
+                    &mut stats,
+                    tracer,
+                );
+                reports.extend(rs);
+                refuted.extend(refs);
+                query_profiles.extend(profs);
+            }
+            phase.record("queries", stats.queries as u64);
+            phase.record("confirmed", stats.confirmed as u64);
         }
+        canary_trace::log(LogLevel::Summary, || {
+            format!(
+                "detect: {} quer(ies), {} report(s) in {:?}",
+                stats.queries,
+                stats.confirmed,
+                t0.elapsed()
+            )
+        });
         metrics.t_detect = t0.elapsed();
         metrics.detect = stats;
         metrics.term_count = pool.len();
+        metrics.query_profiles = query_profiles;
         let witness_replays = if self.config.verify_witnesses {
             let replays: Vec<canary_oracle::ReplayResult> = reports
                 .iter()
@@ -362,6 +425,23 @@ impl Canary {
         ThreadStructure,
         Metrics,
     ) {
+        self.build_vfg_traced(prog, &Tracer::disabled())
+    }
+
+    /// [`build_vfg`](Self::build_vfg) with spans collected into `tracer`.
+    #[allow(clippy::type_complexity)]
+    pub fn build_vfg_traced(
+        &self,
+        prog: &Program,
+        tracer: &Tracer,
+    ) -> (
+        TermPool,
+        canary_dataflow::DataflowResult,
+        InterferenceResult,
+        CallGraph,
+        ThreadStructure,
+        Metrics,
+    ) {
         let threads = self.config.threads.max(1);
         let mut metrics = Metrics {
             stmt_count: prog.stmt_count(),
@@ -374,13 +454,27 @@ impl Canary {
         let t0 = Instant::now();
         let cg = CallGraph::build(prog);
         let ts = ThreadStructure::compute(prog, &cg);
-        let mut df = canary_dataflow::run_with(prog, &cg, &mut pool, threads);
+        let mut df = {
+            let mut phase = tracer.span(LANE_PIPELINE, "pipeline", 0, || "alg1".into());
+            let df = canary_dataflow::run_traced(prog, &cg, &mut pool, threads, tracer);
+            phase.record("tasks", df.tasks as u64);
+            phase.record("functions", df.func_profiles.len() as u64);
+            df
+        };
         metrics.t_dataflow = t0.elapsed();
         metrics.dataflow_phase = PhaseStats {
             wall: metrics.t_dataflow,
             workers: threads,
             tasks: df.tasks,
         };
+        canary_trace::log(LogLevel::Summary, || {
+            format!(
+                "alg1: {} task(s) over {} function(s) in {:?}",
+                df.tasks,
+                df.func_profiles.len(),
+                metrics.t_dataflow
+            )
+        });
 
         let t1 = Instant::now();
         let mhp = MhpAnalysis::new(prog, &cg, &ts);
@@ -388,13 +482,28 @@ impl Canary {
         // the phase options already ask for more.
         let mut iopts = self.config.interference.clone();
         iopts.threads = iopts.threads.max(threads);
-        let ir_result = canary_interference::run(prog, &ts, &mhp, &mut df, &mut pool, &iopts);
+        let ir_result = {
+            let mut phase = tracer.span(LANE_PIPELINE, "pipeline", 1, || "alg2".into());
+            let r = canary_interference::run_traced(
+                prog, &ts, &mhp, &mut df, &mut pool, &iopts, tracer,
+            );
+            phase.record("rounds", r.rounds as u64);
+            phase.record("interference_edges", r.interference_edges as u64);
+            phase.record("escaped", r.escaped.len() as u64);
+            r
+        };
         metrics.t_interference = t1.elapsed();
         metrics.interference_phase = PhaseStats {
             wall: metrics.t_interference,
             workers: iopts.threads,
             tasks: ir_result.tasks,
         };
+        canary_trace::log(LogLevel::Summary, || {
+            format!(
+                "alg2: {} round(s), {} interference edge(s) in {:?}",
+                ir_result.rounds, ir_result.interference_edges, metrics.t_interference
+            )
+        });
         drop(mhp);
 
         metrics.vfg_nodes = df.vfg.node_count();
@@ -403,6 +512,7 @@ impl Canary {
         metrics.escaped_objects = ir_result.escaped.len();
         metrics.vfg_bytes = df.vfg.approx_bytes();
         metrics.term_count = pool.len();
+        metrics.func_profiles = df.func_profiles.clone();
         (pool, df, ir_result, cg, ts, metrics)
     }
 }

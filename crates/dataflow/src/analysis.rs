@@ -28,9 +28,11 @@
 //! machinery inline.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 use canary_ir::{CallGraph, FuncId, Inst, Label, Program, Terminator, VarId};
 use canary_smt::{ScratchLog, ScratchPool, TermBuild, TermId, TermPool, TermRemap};
+use canary_trace::{Tracer, LANE_ALG1};
 use canary_vfg::{EdgeKind, NodeId, Vfg, VfgLog, VfgScratch};
 use parking_lot::RwLock;
 
@@ -90,6 +92,29 @@ pub struct FuncSummary {
     pub returns: Vec<(Label, TermId, Vec<VarId>)>,
 }
 
+/// Per-function cost profile of Alg. 1 — the per-summary accounting the
+/// observability layer reports (Fig. 7a localizes front-end time to
+/// functions). Everything except `wall` is deterministic.
+#[derive(Clone, Debug)]
+pub struct FuncProfile {
+    /// Function index.
+    pub func: usize,
+    /// Function name.
+    pub name: String,
+    /// Statements run through the transfer function.
+    pub stmt_visits: u64,
+    /// Basic blocks walked.
+    pub blocks: u64,
+    /// Guarded cells in the published summary (transfer-function size).
+    pub summary_cells: u64,
+    /// Store sites inventoried while analyzing this function.
+    pub stores: u64,
+    /// Load sites inventoried while analyzing this function.
+    pub loads: u64,
+    /// Wall time spent in `analyze_func` (not deterministic).
+    pub wall: Duration,
+}
+
 /// Everything Alg. 1 produces, consumed by Alg. 2 and the checkers.
 #[derive(Debug)]
 pub struct DataflowResult {
@@ -111,6 +136,9 @@ pub struct DataflowResult {
     /// Number of scheduler tasks (call-graph SCCs) executed — the unit
     /// the per-phase metrics report.
     pub tasks: usize,
+    /// Per-function cost profiles, in commit (task) order — i.e. in a
+    /// deterministic order independent of the worker count.
+    pub func_profiles: Vec<FuncProfile>,
 }
 
 impl DataflowResult {
@@ -141,6 +169,20 @@ pub fn run_with(
     pool: &mut TermPool,
     threads: usize,
 ) -> DataflowResult {
+    run_traced(prog, cg, pool, threads, &Tracer::disabled())
+}
+
+/// [`run_with`] plus observability: per-level and per-function spans on
+/// the Alg. 1 lane, and per-function [`FuncProfile`]s in the result.
+/// With a disabled tracer this *is* `run_with` — the spans cost one
+/// branch each.
+pub fn run_traced(
+    prog: &Program,
+    cg: &CallGraph,
+    pool: &mut TermPool,
+    threads: usize,
+    tracer: &Tracer,
+) -> DataflowResult {
     let path_conds = PathConditions::compute(prog, pool);
     let def_site = compute_def_sites(prog);
     let mut shared = Shared {
@@ -150,10 +192,17 @@ pub fn run_with(
         loads: Vec::new(),
         summaries: RwLock::new(vec![FuncSummary::default(); prog.funcs.len()]),
         analyzed: vec![false; prog.funcs.len()],
+        func_profiles: Vec::new(),
     };
     let mut tasks = 0;
-    for level in cg.bottom_up_levels() {
+    for (lvl, level) in cg.bottom_up_levels().into_iter().enumerate() {
         tasks += level.len();
+        let mut level_span = tracer.span(LANE_ALG1, "alg1", lvl as u64, || {
+            format!("alg1.level:{lvl}")
+        });
+        canary_trace::log(canary_trace::LogLevel::Debug, || {
+            format!("alg1: level {lvl}, {} task(s)", level.len())
+        });
         // Fan the level's tasks out against frozen state; reborrows end
         // with the block, handing exclusive access back to the commits.
         let outs = {
@@ -162,12 +211,18 @@ pub fn run_with(
             let pc = &path_conds;
             let ds = &def_site;
             exec::run_indexed(level.len(), threads, |i| {
-                run_task(prog, cg, pc, ds, shared_ref, frozen, &level[i])
+                run_task(prog, cg, pc, ds, shared_ref, frozen, &level[i], tracer)
             })
         };
+        level_span.record("tasks", level.len() as u64);
+        level_span.record(
+            "scratch_terms",
+            outs.iter().map(|o| o.terms.len() as u64).sum(),
+        );
         for out in outs {
             commit_task(&mut shared, pool, out);
         }
+        level_span.finish();
     }
     DataflowResult {
         vfg: shared.vfg,
@@ -178,6 +233,7 @@ pub fn run_with(
         def_site,
         summaries: shared.summaries.into_inner(),
         tasks,
+        func_profiles: shared.func_profiles,
     }
 }
 
@@ -213,6 +269,7 @@ struct Shared {
     loads: Vec<LoadSite>,
     summaries: RwLock<Vec<FuncSummary>>,
     analyzed: Vec<bool>,
+    func_profiles: Vec<FuncProfile>,
 }
 
 /// Everything one task produced, in scratch-relative term ids. Owned
@@ -226,9 +283,11 @@ struct TaskOut {
     summaries: Vec<(usize, FuncSummary)>,
     stores: Vec<StoreSite>,
     loads: Vec<LoadSite>,
+    profiles: Vec<FuncProfile>,
 }
 
 /// Analyzes one task (one call-graph SCC) against frozen shared state.
+#[allow(clippy::too_many_arguments)]
 fn run_task(
     prog: &Program,
     cg: &CallGraph,
@@ -237,6 +296,7 @@ fn run_task(
     shared: &Shared,
     pool: &TermPool,
     members: &[FuncId],
+    tracer: &Tracer,
 ) -> TaskOut {
     let mut ctx = TaskCtx {
         prog,
@@ -252,9 +312,42 @@ fn run_task(
         stores: Vec::new(),
         loads: Vec::new(),
     };
+    let mut profiles = Vec::with_capacity(members.len());
     for &f in members {
-        ctx.analyze_func(f);
+        let stores_before = ctx.stores.len() as u64;
+        let loads_before = ctx.loads.len() as u64;
+        let started = Instant::now();
+        let visit = ctx.analyze_func(f);
+        let wall = started.elapsed();
         ctx.analyzed_local.insert(f.index());
+        let profile = FuncProfile {
+            func: f.index(),
+            name: prog.func(f).name.clone(),
+            stmt_visits: visit.stmts,
+            blocks: visit.blocks,
+            summary_cells: visit.summary_cells,
+            stores: ctx.stores.len() as u64 - stores_before,
+            loads: ctx.loads.len() as u64 - loads_before,
+            wall,
+        };
+        tracer.event(
+            LANE_ALG1,
+            "alg1.func",
+            f.index() as u64,
+            || format!("alg1.func:{}", profile.name),
+            started,
+            wall,
+            || {
+                vec![
+                    ("stmt_visits", profile.stmt_visits),
+                    ("blocks", profile.blocks),
+                    ("summary_cells", profile.summary_cells),
+                    ("stores", profile.stores),
+                    ("loads", profile.loads),
+                ]
+            },
+        );
+        profiles.push(profile);
     }
     let mut pgtop: Vec<(usize, PtsSet)> = ctx.pgtop.into_iter().collect();
     pgtop.sort_unstable_by_key(|&(v, _)| v);
@@ -268,6 +361,7 @@ fn run_task(
         summaries,
         stores: ctx.stores,
         loads: ctx.loads,
+        profiles,
     }
 }
 
@@ -308,6 +402,7 @@ fn commit_task(shared: &mut Shared, pool: &mut TermPool, out: TaskOut) {
     for f in out.funcs {
         shared.analyzed[f] = true;
     }
+    shared.func_profiles.extend(out.profiles);
 }
 
 fn remap_guards<T>(remap: &TermRemap, set: &mut [Guarded<T>]) {
@@ -333,6 +428,14 @@ struct TaskCtx<'e> {
     analyzed_local: HashSet<usize>,
     stores: Vec<StoreSite>,
     loads: Vec<LoadSite>,
+}
+
+/// Work counters one `analyze_func` run produces (feeds [`FuncProfile`]).
+#[derive(Clone, Copy, Debug, Default)]
+struct FuncVisit {
+    stmts: u64,
+    blocks: u64,
+    summary_cells: u64,
 }
 
 /// Flow-sensitive memory state: key-ordered so every iteration —
@@ -381,10 +484,11 @@ impl TaskCtx<'_> {
         Some(self.vfg.def_node(v, l))
     }
 
-    fn analyze_func(&mut self, f: FuncId) {
+    fn analyze_func(&mut self, f: FuncId) -> FuncVisit {
+        let mut visit = FuncVisit::default();
         let func = self.prog.func(f).clone();
         if func.blocks.iter().all(|b| b.stmts.is_empty()) {
-            return;
+            return visit;
         }
         // Seed parameter points-to symbolically.
         for (i, &p) in func.params.iter().enumerate() {
@@ -400,8 +504,10 @@ impl TaskCtx<'_> {
         let mut returns: Vec<(Label, TermId, Vec<VarId>)> = Vec::new();
         let mut param_loads: Vec<ParamLoad> = Vec::new();
         for blk in rpo {
+            visit.blocks += 1;
             let mut mem = block_in.remove(&blk.0).unwrap_or_default();
             for &l in &func.block(blk).stmts {
+                visit.stmts += 1;
                 self.transfer(f, l, &mut mem, &mut returns, &mut param_loads);
             }
             match &func.block(blk).term {
@@ -416,6 +522,9 @@ impl TaskCtx<'_> {
                 }
             }
         }
+        visit.summary_cells = exit_mem.values().map(|c| c.len() as u64).sum::<u64>()
+            + param_loads.len() as u64
+            + returns.len() as u64;
         self.summaries.insert(
             f.index(),
             FuncSummary {
@@ -428,6 +537,7 @@ impl TaskCtx<'_> {
                 returns,
             },
         );
+        visit
     }
 
     #[allow(clippy::too_many_lines)]

@@ -44,7 +44,10 @@ pub mod exec;
 pub mod pathcond;
 pub mod symbols;
 
-pub use analysis::{run, run_with, DataflowResult, FuncSummary, LoadSite, ParamLoad, StoreSite};
+pub use analysis::{
+    run, run_traced, run_with, DataflowResult, FuncProfile, FuncSummary, LoadSite, ParamLoad,
+    StoreSite,
+};
 pub use pathcond::{cond_term, PathConditions};
 pub use symbols::{insert_guarded, CellSet, Guarded, MemKey, MemVal, PtsSet, Sym};
 

@@ -4,12 +4,14 @@
 //! `Φ_all = Φ_guards ∧ Φ_po` (Eq. 5).
 
 use std::collections::{BTreeSet, HashSet};
+use std::time::Duration;
 
 use canary_dataflow::DataflowResult;
 use canary_ir::{Inst, Label, MhpAnalysis, Program, ThreadStructure, VarId};
 use canary_smt::{
-    check_all, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
+    check_all_recorded, Node, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
 };
+use canary_trace::{Tracer, LANE_DETECT, LANE_SMT};
 use canary_vfg::{NodeId, NodeKind};
 
 use crate::constraints;
@@ -70,7 +72,10 @@ impl Default for DetectOptions {
     }
 }
 
-/// Counters for the evaluation harness.
+/// Counters for the evaluation harness. The solver-work fields
+/// (`prefiltered` onward) aggregate the per-query [`QueryProfile`]
+/// counters of every validated candidate — they are sums of
+/// deterministic per-query counts, so they are deterministic too.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DetectStats {
     /// Candidate source-sink paths enumerated.
@@ -79,6 +84,53 @@ pub struct DetectStats {
     pub queries: usize,
     /// Reports surviving SMT validation.
     pub confirmed: usize,
+    /// Queries answered by the semi-decision prefilter alone.
+    pub prefiltered: u64,
+    /// CDCL decisions across all validation queries.
+    pub decisions: u64,
+    /// CDCL conflicts across all validation queries.
+    pub conflicts: u64,
+    /// Unit propagations across all validation queries.
+    pub propagations: u64,
+    /// Learned clauses retained across all validation queries.
+    pub learned: u64,
+    /// Theory (order-cycle) lemmas across all validation queries.
+    pub theory_lemmas: u64,
+}
+
+/// Per-SMT-query attribution record (§5 validation): which candidate
+/// the query belonged to, how big its formula was, and what the solver
+/// spent on it. Everything except `wall` is deterministic.
+#[derive(Clone, Debug)]
+pub struct QueryProfile {
+    /// The property being checked.
+    pub kind: BugKind,
+    /// Candidate source statement.
+    pub source: Label,
+    /// Candidate sink statement.
+    pub sink: Label,
+    /// VFG nodes on the candidate path.
+    pub path_len: u64,
+    /// Distinct Boolean (branch) atoms in `Φ_all`.
+    pub bool_atoms: u64,
+    /// Distinct strict-order atoms in `Φ_all`.
+    pub order_atoms: u64,
+    /// Whether the query was satisfiable (a confirmed flow).
+    pub sat: bool,
+    /// Answered by the prefilter alone.
+    pub prefiltered: bool,
+    /// CDCL decisions.
+    pub decisions: u64,
+    /// CDCL conflicts.
+    pub conflicts: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+    /// Learned clauses retained.
+    pub learned: u64,
+    /// Theory lemmas fed back.
+    pub theory_lemmas: u64,
+    /// Wall time spent solving (not deterministic).
+    pub wall: Duration,
 }
 
 /// Everything the detector reads; built once per program by the
@@ -133,6 +185,7 @@ impl<'p> DetectContext<'p> {
 struct Candidate {
     query: TermId,
     report: BugReport,
+    path_len: u64,
 }
 
 /// A candidate the solver refuted, with a deletion-minimal core of the
@@ -170,6 +223,26 @@ pub fn check_kind_explained(
     opts: &DetectOptions,
     stats: &mut DetectStats,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>) {
+    let (reports, refuted, _profiles) =
+        check_kind_traced(ctx, pool, kind, opts, stats, &Tracer::disabled());
+    (reports, refuted)
+}
+
+/// [`check_kind_explained`] plus observability: a per-kind span on the
+/// detection lane, one span and one [`QueryProfile`] per SMT query on
+/// the SMT lane, and the solver-work counters folded into `stats`.
+pub fn check_kind_traced(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    kind: BugKind,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+    tracer: &Tracer,
+) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
+    let paths_before = stats.candidate_paths;
+    let mut span = tracer.span(LANE_DETECT, "detect", kind as u64, || {
+        format!("detect.kind:{kind}")
+    });
     let candidates = match kind {
         BugKind::UseAfterFree => uaf_candidates(ctx, pool, opts, stats, false),
         BugKind::DoubleFree => uaf_candidates(ctx, pool, opts, stats, true),
@@ -192,9 +265,23 @@ pub fn check_kind_explained(
             &sink_nodes(ctx),
         ),
     };
-    validate(ctx, pool, candidates, opts, stats)
+    span.record(
+        "candidate_paths",
+        (stats.candidate_paths - paths_before) as u64,
+    );
+    span.record("queries", candidates.len() as u64);
+    let (reports, refuted, profiles) = validate(ctx, pool, candidates, opts, stats, kind, tracer);
+    span.record("confirmed", reports.len() as u64);
+    span.finish();
+    canary_trace::log(canary_trace::LogLevel::Debug, || {
+        format!(
+            "detect: {kind}: {} quer(ies), {} confirmed",
+            profiles.len(),
+            reports.len()
+        )
+    });
+    (reports, refuted, profiles)
 }
-
 
 /// Runs every checker.
 pub fn check_all_kinds(
@@ -215,18 +302,99 @@ pub fn check_all_kinds(
     out
 }
 
+/// Counts the distinct Boolean and order atoms in a term DAG.
+fn count_atoms(pool: &TermPool, root: TermId) -> (u64, u64) {
+    let mut visited: HashSet<TermId> = HashSet::new();
+    let mut stack = vec![root];
+    let (mut bools, mut orders) = (0u64, 0u64);
+    while let Some(t) = stack.pop() {
+        if !visited.insert(t) {
+            continue;
+        }
+        match pool.node(t) {
+            Node::BoolAtom(_) => bools += 1,
+            Node::Order(_, _) => orders += 1,
+            Node::Not(a) => stack.push(*a),
+            Node::And(xs) | Node::Or(xs) => stack.extend(xs.iter().copied()),
+            Node::True | Node::False => {}
+        }
+    }
+    (bools, orders)
+}
+
 /// SMT-validates candidates, in parallel when configured (§5.2).
+#[allow(clippy::too_many_arguments)]
 fn validate(
     ctx: &DetectContext<'_>,
     pool: &mut TermPool,
     candidates: Vec<Candidate>,
     opts: &DetectOptions,
     stats: &mut DetectStats,
-) -> (Vec<BugReport>, Vec<RefutedCandidate>) {
+    kind: BugKind,
+    tracer: &Tracer,
+) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
     stats.queries += candidates.len();
     let queries: Vec<TermId> = candidates.iter().map(|c| c.query).collect();
     let solver_stats = SolverStats::default();
-    let results = check_all(pool, &queries, &opts.solver, &solver_stats);
+    let outcomes = check_all_recorded(pool, &queries, &opts.solver, &solver_stats);
+    let mut profiles = Vec::with_capacity(outcomes.len());
+    for (qi, (cand, o)) in candidates.iter().zip(&outcomes).enumerate() {
+        let (bool_atoms, order_atoms) = count_atoms(pool, cand.query);
+        let p = QueryProfile {
+            kind,
+            source: cand.report.source,
+            sink: cand.report.sink,
+            path_len: cand.path_len,
+            bool_atoms,
+            order_atoms,
+            sat: o.result == SmtResult::Sat,
+            prefiltered: o.stats.prefiltered,
+            decisions: o.stats.decisions,
+            conflicts: o.stats.conflicts,
+            propagations: o.stats.propagations,
+            learned: o.stats.learned,
+            theory_lemmas: o.stats.theory_lemmas,
+            wall: o.wall,
+        };
+        // Aggregate only the per-query counters (not the shared atomics,
+        // which diagnostics below would pollute): sums of deterministic
+        // per-query counts stay deterministic.
+        stats.prefiltered += u64::from(p.prefiltered);
+        stats.decisions += p.decisions;
+        stats.conflicts += p.conflicts;
+        stats.propagations += p.propagations;
+        stats.learned += p.learned;
+        stats.theory_lemmas += p.theory_lemmas;
+        tracer.event(
+            LANE_SMT,
+            "smt.query",
+            qi as u64,
+            || {
+                format!(
+                    "smt.query:{}:{}->{}",
+                    p.kind, p.source.0, p.sink.0
+                )
+            },
+            o.started,
+            o.wall,
+            || {
+                vec![
+                    ("sat", u64::from(p.sat)),
+                    ("prefiltered", u64::from(p.prefiltered)),
+                    ("path_len", p.path_len),
+                    ("bool_atoms", p.bool_atoms),
+                    ("order_atoms", p.order_atoms),
+                    ("decisions", p.decisions),
+                    ("conflicts", p.conflicts),
+                    ("propagations", p.propagations),
+                    ("learned", p.learned),
+                    ("theory_lemmas", p.theory_lemmas),
+                ]
+            },
+        );
+        profiles.push(p);
+    }
+    let results: Vec<SmtResult> = outcomes.iter().map(|o| o.result).collect();
     let mut seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
     let mut refuted_seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
     let mut out = Vec::new();
@@ -285,7 +453,7 @@ fn validate(
     stats.confirmed += out.len();
     out.sort_by_key(|r| (r.source, r.sink));
     refuted.sort_by_key(|r| (r.source, r.sink));
-    (out, refuted)
+    (out, refuted, profiles)
 }
 
 /// Dereference sinks: `use v` statements, as their VFG use nodes.
@@ -519,6 +687,7 @@ fn finish_candidate(
         .collect();
     Some(Candidate {
         query,
+        path_len: p.nodes.len() as u64,
         report: BugReport {
             kind,
             source,

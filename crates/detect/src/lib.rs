@@ -29,8 +29,8 @@ pub mod schedule;
 pub mod sync;
 
 pub use detector::{
-    check_all_kinds, check_kind, check_kind_explained, DetectContext, DetectOptions, DetectStats,
-    MemoryModel, RefutedCandidate,
+    check_all_kinds, check_kind, check_kind_explained, check_kind_traced, DetectContext,
+    DetectOptions, DetectStats, MemoryModel, QueryProfile, RefutedCandidate,
 };
 pub use path::{enumerate_paths, PathLimits, VfPath};
 pub use report::{BugKind, BugReport};

@@ -42,6 +42,7 @@ use std::collections::{HashMap, HashSet};
 use canary_dataflow::{exec, DataflowResult, LoadSite, StoreSite};
 use canary_ir::{Inst, Label, MhpAnalysis, ObjId, Program, ThreadStructure, VarId};
 use canary_smt::{ScratchPool, TermBuild, TermId, TermPool};
+use canary_trace::{Tracer, LANE_ALG2};
 use canary_vfg::{EdgeKind, NodeId, NodeKind, Vfg};
 
 /// Options for the interference analysis.
@@ -99,6 +100,22 @@ pub fn run(
     pool: &mut TermPool,
     opts: &InterferenceOptions,
 ) -> InterferenceResult {
+    run_traced(prog, ts, mhp, df, pool, opts, &Tracer::disabled())
+}
+
+/// [`run`] plus observability: one span per escape pass and per edge
+/// round on the Alg. 2 lane, keyed by round number, recording frontier
+/// size and edges added.
+#[allow(clippy::too_many_arguments)]
+pub fn run_traced(
+    prog: &Program,
+    ts: &ThreadStructure,
+    mhp: &MhpAnalysis<'_>,
+    df: &mut DataflowResult,
+    pool: &mut TermPool,
+    opts: &InterferenceOptions,
+    tracer: &Tracer,
+) -> InterferenceResult {
     let mut a = InterferenceAnalysis {
         prog,
         ts,
@@ -112,7 +129,7 @@ pub fn run(
         mhp_pruned: 0,
         tasks: 0,
     };
-    let rounds = a.fixpoint(df);
+    let rounds = a.fixpoint(df, tracer);
     InterferenceResult {
         escaped: a.escaped,
         rounds,
@@ -149,13 +166,48 @@ struct PendingEdge {
 }
 
 impl InterferenceAnalysis<'_> {
-    fn fixpoint(&mut self, df: &mut DataflowResult) -> usize {
+    fn fixpoint(&mut self, df: &mut DataflowResult, tracer: &Tracer) -> usize {
         let mut rounds = 0;
         loop {
             rounds += 1;
             let mut changed = false;
-            changed |= self.escape_round(df);
-            changed |= self.edge_round(df);
+            {
+                let escaped_before = self.escaped.len() as u64;
+                let mut span = tracer.span(LANE_ALG2, "alg2", rounds as u64, || {
+                    format!("alg2.escape:{rounds}")
+                });
+                changed |= self.escape_round(df);
+                span.record("escaped", self.escaped.len() as u64);
+                span.record("new_escaped", self.escaped.len() as u64 - escaped_before);
+            }
+            {
+                let edges_before = self.interference_edges as u64;
+                let data_before = self.refreshed_data_edges as u64;
+                let pruned_before = self.mhp_pruned as u64;
+                let tasks_before = self.tasks as u64;
+                let mut span = tracer.span(LANE_ALG2, "alg2", rounds as u64, || {
+                    format!("alg2.edges:{rounds}")
+                });
+                changed |= self.edge_round(df);
+                span.record("frontier", self.escaped.len() as u64);
+                span.record(
+                    "interference_edges_added",
+                    self.interference_edges as u64 - edges_before,
+                );
+                span.record(
+                    "data_edges_added",
+                    self.refreshed_data_edges as u64 - data_before,
+                );
+                span.record("mhp_pruned", self.mhp_pruned as u64 - pruned_before);
+                span.record("tasks", self.tasks as u64 - tasks_before);
+            }
+            canary_trace::log(canary_trace::LogLevel::Debug, || {
+                format!(
+                    "alg2: round {rounds}, {} escaped, {} interference edge(s)",
+                    self.escaped.len(),
+                    self.interference_edges
+                )
+            });
             if !changed || rounds >= self.opts.max_rounds {
                 return rounds;
             }

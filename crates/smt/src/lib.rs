@@ -55,8 +55,8 @@ pub use core::{check_conjunction, minimal_core};
 pub use sat::{Lit, SatResult, SatSolver, SatStats, Var};
 pub use simplify::{obviously_false, obviously_true};
 pub use solver::{
-    check, check_all, check_witness, check_witness_model, SmtResult, SolverOptions, SolverStats,
-    WitnessModel,
+    check, check_all, check_all_recorded, check_counted, check_witness, check_witness_model,
+    QueryOutcome, QueryStats, SmtResult, SolverOptions, SolverStats, WitnessModel,
 };
 pub use scratch::{ScratchLog, ScratchPool, TermRemap};
 pub use term::{AtomSet, EventId, Node, TermBuild, TermId, TermPool};

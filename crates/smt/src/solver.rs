@@ -14,6 +14,7 @@
 //!    frequent atoms.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use crate::cnf::{encode, Encoding};
 use crate::sat::{Lit, SatResult, SatSolver, Var};
@@ -59,7 +60,10 @@ impl Default for SolverOptions {
     }
 }
 
-/// Aggregate solver statistics (for the scalability tables).
+/// Aggregate solver statistics (for the scalability tables). The CDCL
+/// search counters (decisions, conflicts, propagations, restarts,
+/// learned clauses) accumulate across every query checked against this
+/// instance — the per-query breakdown is [`QueryStats`].
 #[derive(Debug, Default)]
 pub struct SolverStats {
     /// Queries answered by the prefilter alone.
@@ -68,6 +72,16 @@ pub struct SolverStats {
     pub solved: AtomicU64,
     /// Theory lemmas learned across all queries.
     pub theory_lemmas: AtomicU64,
+    /// CDCL decisions across all queries.
+    pub decisions: AtomicU64,
+    /// CDCL conflicts across all queries.
+    pub conflicts: AtomicU64,
+    /// Unit propagations across all queries.
+    pub propagations: AtomicU64,
+    /// Restarts across all queries.
+    pub restarts: AtomicU64,
+    /// Learned (conflict + theory) clauses retained across all queries.
+    pub learned: AtomicU64,
 }
 
 impl SolverStats {
@@ -79,25 +93,90 @@ impl SolverStats {
             self.theory_lemmas.load(Ordering::Relaxed),
         )
     }
+
+    fn absorb(&self, q: &QueryStats) {
+        self.decisions.fetch_add(q.decisions, Ordering::Relaxed);
+        self.conflicts.fetch_add(q.conflicts, Ordering::Relaxed);
+        self.propagations.fetch_add(q.propagations, Ordering::Relaxed);
+        self.restarts.fetch_add(q.restarts, Ordering::Relaxed);
+        self.learned.fetch_add(q.learned, Ordering::Relaxed);
+    }
+}
+
+/// Per-query solver work counters — the unit of attribution the
+/// observability layer reports (which query was hot, and why).
+///
+/// For the default strategy (no cube-and-conquer) the counters are
+/// fully deterministic: the CDCL core explores the same tree for the
+/// same clauses, regardless of how many *other* queries solve
+/// concurrently. Under cube-and-conquer the early-exit race makes the
+/// counts best-effort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The query was answered by the semi-decision prefilter alone.
+    pub prefiltered: bool,
+    /// CDCL decisions.
+    pub decisions: u64,
+    /// CDCL conflicts analyzed.
+    pub conflicts: u64,
+    /// Unit propagations.
+    pub propagations: u64,
+    /// Restarts.
+    pub restarts: u64,
+    /// Learned clauses retained (conflict clauses; theory lemmas are
+    /// counted separately).
+    pub learned: u64,
+    /// Theory (order-cycle) lemmas fed back into the SAT core.
+    pub theory_lemmas: u64,
+}
+
+impl QueryStats {
+    /// Sums another query's counters into this one.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.prefiltered |= other.prefiltered;
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learned += other.learned;
+        self.theory_lemmas += other.theory_lemmas;
+    }
 }
 
 /// Decides one term with the CDCL(T) loop.
 pub fn check(pool: &TermPool, t: TermId, opts: &SolverOptions, stats: &SolverStats) -> SmtResult {
+    check_counted(pool, t, opts, stats).0
+}
+
+/// Like [`check`], additionally returning the query's own work
+/// counters (also accumulated into `stats`).
+pub fn check_counted(
+    pool: &TermPool,
+    t: TermId,
+    opts: &SolverOptions,
+    stats: &SolverStats,
+) -> (SmtResult, QueryStats) {
+    let mut q = QueryStats::default();
     if opts.prefilter {
         if t == pool.tt() {
             stats.prefiltered.fetch_add(1, Ordering::Relaxed);
-            return SmtResult::Sat;
+            q.prefiltered = true;
+            return (SmtResult::Sat, q);
         }
         if obviously_false(pool, t) {
             stats.prefiltered.fetch_add(1, Ordering::Relaxed);
-            return SmtResult::Unsat;
+            q.prefiltered = true;
+            return (SmtResult::Unsat, q);
         }
     }
     stats.solved.fetch_add(1, Ordering::Relaxed);
-    if opts.cube_split > 0 && opts.num_threads > 1 {
-        return cube_and_conquer(pool, t, opts, stats);
-    }
-    check_with_assumptions(pool, t, &[], stats)
+    let res = if opts.cube_split > 0 && opts.num_threads > 1 {
+        cube_and_conquer(pool, t, opts, stats, &mut q)
+    } else {
+        check_with_assumptions(pool, t, &[], stats, &mut q)
+    };
+    stats.absorb(&q);
+    (res, q)
 }
 
 /// The core lazy CDCL(T) loop, optionally under cube assumptions given
@@ -107,6 +186,7 @@ fn check_with_assumptions(
     t: TermId,
     cube: &[(u32, bool)],
     stats: &SolverStats,
+    q: &mut QueryStats,
 ) -> SmtResult {
     let mut sat = SatSolver::new();
     let mut enc = Encoding::default();
@@ -115,9 +195,9 @@ fn check_with_assumptions(
         .iter()
         .filter_map(|&(atom, val)| enc.bool_vars.get(&atom).map(|&v| Lit::new(v, val)))
         .collect();
-    loop {
+    let result = loop {
         match sat.solve_with_assumptions(&assumptions) {
-            SatResult::Unsat => return SmtResult::Unsat,
+            SatResult::Unsat => break SmtResult::Unsat,
             SatResult::Sat(model) => {
                 let oriented = enc.oriented_edges(&model);
                 let edges: Vec<OrderEdge> = oriented
@@ -129,9 +209,10 @@ fn check_with_assumptions(
                     })
                     .collect();
                 match check_orders(&edges) {
-                    TheoryResult::Consistent => return SmtResult::Sat,
+                    TheoryResult::Consistent => break SmtResult::Sat,
                     TheoryResult::Conflict(vars) => {
                         stats.theory_lemmas.fetch_add(1, Ordering::Relaxed);
+                        q.theory_lemmas += 1;
                         // Block this orientation of the cycle.
                         let clause: Vec<Lit> = vars
                             .iter()
@@ -141,13 +222,19 @@ fn check_with_assumptions(
                             })
                             .collect();
                         if !sat.add_clause(&clause) {
-                            return SmtResult::Unsat;
+                            break SmtResult::Unsat;
                         }
                     }
                 }
             }
         }
-    }
+    };
+    q.decisions += sat.stats.decisions;
+    q.conflicts += sat.stats.conflicts;
+    q.propagations += sat.stats.propagations;
+    q.restarts += sat.stats.restarts;
+    q.learned += sat.num_learnt() as u64;
+    result
 }
 
 /// Cube-and-conquer (§5.2): split on the most frequent Boolean atoms
@@ -157,14 +244,16 @@ fn cube_and_conquer(
     t: TermId,
     opts: &SolverOptions,
     stats: &SolverStats,
+    q: &mut QueryStats,
 ) -> SmtResult {
     let atoms = pick_split_atoms(pool, t, opts.cube_split);
     if atoms.is_empty() {
-        return check_with_assumptions(pool, t, &[], stats);
+        return check_with_assumptions(pool, t, &[], stats, q);
     }
     let n_cubes = 1usize << atoms.len();
     let found_sat = AtomicBool::new(false);
     let next = AtomicU64::new(0);
+    let agg = std::sync::Mutex::new(QueryStats::default());
     let workers = opts.num_threads.min(n_cubes).max(1);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -178,13 +267,17 @@ fn cube_and_conquer(
                     .enumerate()
                     .map(|(bit, &a)| (a, (i >> bit) & 1 == 1))
                     .collect();
-                if check_with_assumptions(pool, t, &cube, stats) == SmtResult::Sat {
+                let mut local = QueryStats::default();
+                let res = check_with_assumptions(pool, t, &cube, stats, &mut local);
+                agg.lock().expect("no poisoning").merge(&local);
+                if res == SmtResult::Sat {
                     found_sat.store(true, Ordering::Relaxed);
                     return;
                 }
             });
         }
     });
+    q.merge(&agg.into_inner().expect("scope joined"));
     if found_sat.load(Ordering::Relaxed) {
         SmtResult::Sat
     } else {
@@ -330,6 +423,22 @@ fn topological_events(
     out
 }
 
+/// One solved query, with its verdict, work counters, and timing.
+/// `started` is the wall-clock instant solving began (relative to
+/// whatever epoch the caller tracks); only `result` and `stats` are
+/// deterministic — the timing fields carry real wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryOutcome {
+    /// Sat/unsat verdict.
+    pub result: SmtResult,
+    /// Deterministic work counters for this query.
+    pub stats: QueryStats,
+    /// When solving of this query started.
+    pub started: Instant,
+    /// Wall time spent solving this query.
+    pub wall: Duration,
+}
+
 /// Solves many independent queries, optionally in parallel (§5.2:
 /// "the constraints on different source-sink paths are independent of
 /// each other, which gives us the ability to leverage parallelization").
@@ -339,14 +448,35 @@ pub fn check_all(
     opts: &SolverOptions,
     stats: &SolverStats,
 ) -> Vec<SmtResult> {
+    check_all_recorded(pool, queries, opts, stats)
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+}
+
+/// Like [`check_all`], returning the full per-query record (verdict,
+/// work counters, wall time) in query order.
+pub fn check_all_recorded(
+    pool: &TermPool,
+    queries: &[TermId],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+) -> Vec<QueryOutcome> {
+    let solve_one = |q: TermId, o: &SolverOptions| -> QueryOutcome {
+        let started = Instant::now();
+        let (result, qstats) = check_counted(pool, q, o, stats);
+        QueryOutcome {
+            result,
+            stats: qstats,
+            started,
+            wall: started.elapsed(),
+        }
+    };
     if opts.num_threads <= 1 || queries.len() <= 1 {
-        return queries
-            .iter()
-            .map(|&q| check(pool, q, opts, stats))
-            .collect();
+        return queries.iter().map(|&q| solve_one(q, opts)).collect();
     }
     let next = AtomicU64::new(0);
-    let results: Vec<std::sync::Mutex<Option<SmtResult>>> =
+    let results: Vec<std::sync::Mutex<Option<QueryOutcome>>> =
         queries.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..opts.num_threads {
@@ -359,7 +489,7 @@ pub fn check_all(
                     num_threads: 1,
                     ..opts.clone()
                 };
-                let r = check(pool, queries[i], &sequential, stats);
+                let r = solve_one(queries[i], &sequential);
                 *results[i].lock().expect("no poisoning: workers do not panic") = Some(r);
             });
         }

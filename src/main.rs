@@ -16,10 +16,29 @@
 //!                         is byte-identical for any value)
 //!   --solver-threads N    parallel SMT query workers (default 1)
 //!   --unroll K            loop unrolling depth (default 2)
+//!   --context-depth N     clone-based context sensitivity depth
+//!                         (default 0 = context-insensitive)
+//!   --max-paths N         candidate path budget per source
+//!   --max-path-len N      candidate path length budget
+//!   --tool NAME           canary (default), or the saber / fsam
+//!                         unguarded baselines
+//!   --explain             print a minimized unsat core for each
+//!                         refuted candidate
 //!   --verify-witnesses    concretely replay each report's witness
 //!                         schedule with the oracle interpreter
-//!   --stats               print per-phase metrics
+//!   --trace-out FILE      write a Chrome trace-event profile (open in
+//!                         Perfetto or chrome://tracing)
+//!   --stats               print per-phase metrics, solver totals and
+//!                         the hottest queries/functions
 //! ```
+//!
+//! The `CANARY_LOG` environment variable (`summary` or `debug`) turns
+//! on human-readable progress lines on stderr; stdout stays reserved
+//! for results.
+
+// The vendored `json!` macro expands recursively per key; the enriched
+// `--json` metrics block overflows the default limit of 128.
+#![recursion_limit = "256"]
 
 use std::process::ExitCode;
 
@@ -29,13 +48,18 @@ use canary_interference::InterferenceOptions;
 use canary_ir::ParseOptions;
 use canary_smt::SolverOptions;
 
+/// Rows shown in the `--stats` / `--json` hottest-queries and
+/// hottest-functions tables.
+const TOP_K: usize = 5;
+
 fn usage() -> ! {
     eprintln!(
         "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
          [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
          [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
-         [--tool canary|saber|fsam] [--explain] [--verify-witnesses] [--stats]"
+         [--tool canary|saber|fsam] [--explain] [--verify-witnesses] \
+         [--trace-out FILE] [--stats]"
     );
     std::process::exit(2);
 }
@@ -52,6 +76,7 @@ struct Cli {
     json: bool,
     stats: bool,
     tool: Tool,
+    trace_out: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Cli {
@@ -60,6 +85,7 @@ fn parse_args(args: &[String]) -> Cli {
     let mut json = false;
     let mut stats = false;
     let mut tool = Tool::Canary;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -166,6 +192,11 @@ fn parse_args(args: &[String]) -> Cli {
                 };
                 config.context_depth = n;
             }
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                trace_out = Some(path.clone());
+            }
             "--unroll" => {
                 i += 1;
                 let Some(k) = args.get(i).and_then(|s| s.parse().ok()) else {
@@ -192,6 +223,7 @@ fn parse_args(args: &[String]) -> Cli {
         json,
         stats,
         tool,
+        trace_out,
     }
 }
 
@@ -250,7 +282,18 @@ fn main() -> ExitCode {
     if !matches!(cli.tool, Tool::Canary) {
         return run_baseline(&prog, &cli.tool);
     }
-    let outcome = Canary::with_config(cli.config).analyze(&prog);
+    let tracer = if cli.trace_out.is_some() {
+        canary_trace::Tracer::enabled()
+    } else {
+        canary_trace::Tracer::disabled()
+    };
+    let outcome = Canary::with_config(cli.config).analyze_traced(&prog, &tracer);
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = std::fs::write(path, tracer.export_chrome()) {
+            eprintln!("canary: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let prog = outcome.analyzed_program.as_ref().unwrap_or(&prog);
     if cli.json {
         let reports: Vec<serde_json::Value> = outcome
@@ -278,6 +321,43 @@ fn main() -> ExitCode {
             })
             .collect();
         let m = &outcome.metrics;
+        let hot_queries: Vec<serde_json::Value> = m
+            .hottest_queries(TOP_K)
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "kind": p.kind.to_string(),
+                    "source": p.source.0,
+                    "sink": p.sink.0,
+                    "path_len": p.path_len,
+                    "bool_atoms": p.bool_atoms,
+                    "order_atoms": p.order_atoms,
+                    "sat": p.sat,
+                    "prefiltered": p.prefiltered,
+                    "decisions": p.decisions,
+                    "conflicts": p.conflicts,
+                    "propagations": p.propagations,
+                    "learned": p.learned,
+                    "theory_lemmas": p.theory_lemmas,
+                    "wall_ms": p.wall.as_secs_f64() * 1e3,
+                })
+            })
+            .collect();
+        let hot_functions: Vec<serde_json::Value> = m
+            .hottest_functions(TOP_K)
+            .iter()
+            .map(|p| {
+                serde_json::json!({
+                    "function": p.name,
+                    "stmt_visits": p.stmt_visits,
+                    "blocks": p.blocks,
+                    "summary_cells": p.summary_cells,
+                    "stores": p.stores,
+                    "loads": p.loads,
+                    "wall_ms": p.wall.as_secs_f64() * 1e3,
+                })
+            })
+            .collect();
         let doc = serde_json::json!({
             "file": cli.file,
             "reports": reports,
@@ -296,6 +376,16 @@ fn main() -> ExitCode {
                 "time_dataflow_ms": m.t_dataflow.as_secs_f64() * 1e3,
                 "time_interference_ms": m.t_interference.as_secs_f64() * 1e3,
                 "time_detect_ms": m.t_detect.as_secs_f64() * 1e3,
+                "solver": {
+                    "prefiltered": m.detect.prefiltered,
+                    "decisions": m.detect.decisions,
+                    "conflicts": m.detect.conflicts,
+                    "propagations": m.detect.propagations,
+                    "learned": m.detect.learned,
+                    "theory_lemmas": m.detect.theory_lemmas,
+                },
+                "hot_queries": hot_queries,
+                "hot_functions": hot_functions,
             },
         });
         println!("{}", serde_json::to_string_pretty(&doc).expect("valid json"));
@@ -353,6 +443,64 @@ fn main() -> ExitCode {
                 m.interference_phase.tasks,
                 m.t_detect.as_secs_f64() * 1e3,
             );
+            println!(
+                "solver: {} queries ({} prefiltered) | {} decisions, \
+                 {} conflicts, {} propagations, {} learned clauses, \
+                 {} theory lemmas",
+                m.detect.queries,
+                m.detect.prefiltered,
+                m.detect.decisions,
+                m.detect.conflicts,
+                m.detect.propagations,
+                m.detect.learned,
+                m.detect.theory_lemmas,
+            );
+            let hot = m.hottest_queries(TOP_K);
+            if !hot.is_empty() {
+                println!("hottest queries:");
+                for (rank, p) in hot.iter().enumerate() {
+                    println!(
+                        "  {}. [{}] {} {} -> {} | path {} | {} bool / {} order atoms | \
+                         {} decisions, {} conflicts, {} propagations | {:.2} ms",
+                        rank + 1,
+                        if p.prefiltered {
+                            "prefiltered"
+                        } else if p.sat {
+                            "sat"
+                        } else {
+                            "unsat"
+                        },
+                        p.kind,
+                        canary_ir::render_inst(prog, p.source),
+                        canary_ir::render_inst(prog, p.sink),
+                        p.path_len,
+                        p.bool_atoms,
+                        p.order_atoms,
+                        p.decisions,
+                        p.conflicts,
+                        p.propagations,
+                        p.wall.as_secs_f64() * 1e3,
+                    );
+                }
+            }
+            let hot = m.hottest_functions(TOP_K);
+            if !hot.is_empty() {
+                println!("hottest functions (Alg. 1):");
+                for (rank, p) in hot.iter().enumerate() {
+                    println!(
+                        "  {}. {} | {} stmt visits over {} blocks | \
+                         {} summary cells | {} stores / {} loads | {:.2} ms",
+                        rank + 1,
+                        p.name,
+                        p.stmt_visits,
+                        p.blocks,
+                        p.summary_cells,
+                        p.stores,
+                        p.loads,
+                        p.wall.as_secs_f64() * 1e3,
+                    );
+                }
+            }
         }
     }
     if outcome.reports.is_empty() {
