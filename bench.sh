@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# PR-4 benchmark driver: fresh vs incremental query-family solving.
+#
+# Runs the fixed bench4 corpus (shipped examples, generated workloads,
+# and the query-family subjects) under both solver strategies, asserts
+# report identity, checks the acceptance gate (detect-phase wall >= 1.5x
+# faster OR >= 30% fewer CDCL conflicts+decisions), and writes
+# BENCH_4.json at the repository root.
+#
+# Knobs: CANARY_BENCH_REPS (wall samples per configuration, default 3),
+# CANARY_BENCH_STMTS (subject size scale, default 1.0).
+set -eu
+cd "$(dirname "$0")"
+cargo run --release --offline -p canary-bench --bin bench4 -- "${1:-BENCH_4.json}"

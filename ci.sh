@@ -18,10 +18,23 @@ CANARY_TEST_THREADS=2 cargo test -q --workspace --offline
 # must stay byte-deterministic across worker counts (timing normalized).
 ./target/release/canary examples/fig2_variant.cir --stats \
     --trace-out /tmp/canary_trace.json || [ $? -eq 1 ]  # exit 1 = bug reported
-python3 -c 'import json; json.load(open("/tmp/canary_trace.json"))' 2>/dev/null \
-    || grep -q '"traceEvents"' /tmp/canary_trace.json
+# Validate the trace as real JSON when python3 is available; the grep
+# fallback is only for environments without python3 (previously the
+# `2>/dev/null ||` chain silently masked malformed JSON).
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json; json.load(open("/tmp/canary_trace.json"))'
+else
+    grep -q '"traceEvents"' /tmp/canary_trace.json
+fi
 for span in '"alg1"' '"alg2"' '"detect"' 'smt.query:'; do
     grep -q "$span" /tmp/canary_trace.json
 done
 cargo test -q --offline --test trace
 CANARY_TEST_THREADS=2 cargo test -q --offline --test trace
+# Solver-strategy equivalence: the incremental query-family back-end
+# must agree with the fresh baseline (reports, verdicts, cores) under
+# both strategies and with the parallel front-end.
+cargo test -q --offline --test solver_strategy_equivalence
+CANARY_SOLVER_STRATEGY=fresh cargo test -q --offline --test solver_strategy_equivalence
+CANARY_SOLVER_STRATEGY=incremental cargo test -q --offline --test solver_strategy_equivalence
+CANARY_TEST_THREADS=2 cargo test -q --offline --test solver_strategy_equivalence

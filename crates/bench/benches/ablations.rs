@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use canary_core::{Canary, CanaryConfig};
 use canary_detect::{BugKind, DetectOptions};
 use canary_interference::InterferenceOptions;
-use canary_smt::{check, SolverOptions, SolverStats};
+use canary_smt::{check, SolverOptions, SolverStats, SolverStrategy};
 use canary_workloads::{generate, Workload, WorkloadSpec};
 
 fn workload(stmts: usize) -> Workload {
@@ -112,11 +112,34 @@ fn bench_lazy_vs_eager(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_solver_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_solver_reuse");
+    g.sample_size(10);
+    // A query-family-heavy subject: many guarded value-flow paths per
+    // source, all refuted through the same lock/handshake disjunctions
+    // — the shape where the incremental back-end's shared-prefix
+    // solving and UNSAT-core subsumption pay off.
+    let prog = canary_bench::family_subject(4, 10, 6);
+    for (label, strategy) in [
+        ("fresh", SolverStrategy::Fresh),
+        ("incremental", SolverStrategy::Incremental),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, 40), &prog, |b, prog| {
+            let mut cfg = uaf_config(true, true, 1);
+            cfg.detect.solver.strategy = strategy;
+            let canary = Canary::with_config(cfg);
+            b.iter(|| canary.analyze(prog));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_mhp,
     bench_prefilter,
     bench_parallel,
-    bench_lazy_vs_eager
+    bench_lazy_vs_eager,
+    bench_solver_reuse
 );
 criterion_main!(benches);

@@ -81,4 +81,39 @@ fn main() {
         );
         print!("{}", attribution_report(&m, 5));
     }
+
+    // Solver-strategy ablation on a query-family-heavy subject: how
+    // much of the detect phase the incremental back-end (shared-prefix
+    // solving + UNSAT-core subsumption + memoization) recovers over
+    // solving every query fresh.
+    println!("\n## Solver-strategy ablation (query-family subject)");
+    let fam = canary_bench::family_subject(4, 10, 6);
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("fresh", canary_smt::SolverStrategy::Fresh),
+        ("incremental", canary_smt::SolverStrategy::Incremental),
+    ] {
+        let mut cfg = canary_core::CanaryConfig::default();
+        cfg.detect.solver.strategy = strategy;
+        let outcome = canary_core::Canary::with_config(cfg).analyze(&fam);
+        let d = &outcome.metrics.detect;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", outcome.metrics.t_detect.as_secs_f64() * 1e3),
+            format!("{}", d.queries),
+            format!("{}", d.decisions),
+            format!("{}", d.conflicts),
+            format!("{}", d.theory_lemmas),
+            format!("{}", d.memo_hits + d.core_subsumed),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "strategy", "detect(ms)", "queries", "decisions", "conflicts", "lemmas", "reused"
+            ],
+            &rows
+        )
+    );
 }

@@ -372,6 +372,62 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// A query-family-heavy subject for the incremental-solver benchmarks:
+/// per source, `stores` *guarded* stores publish a pointer into one
+/// cell (one value-flow path — and so one query-family member — each),
+/// the free and the use sit inside `locks` nested critical sections
+/// (mutual-exclusion disjunctions shared by every member), and a
+/// two-notify handshake makes the whole family unsatisfiable *through
+/// the disjunctions* — invisible to the unit-cycle prefilter, so every
+/// member needs real CDCL(T) search.
+///
+/// Under the fresh strategy each member replays that search from
+/// scratch; the incremental back-end refutes the shared prefix once
+/// and discharges the rest of the family by UNSAT-core subsumption.
+/// This is the shape the paper's query clustering targets: many
+/// candidate paths per source whose refutation has one common reason.
+pub fn family_subject(sources: usize, stores: usize, locks: usize) -> canary_ir::Program {
+    use std::fmt::Write as _;
+    let mut s = String::from("fn main() {\n");
+    for i in 0..sources {
+        let _ = writeln!(s, "  c{i} = alloc d{i};\n  p{i} = alloc o{i};");
+        for r in 0..locks {
+            let _ = writeln!(s, "  m{i}x{r} = alloc mu{i}x{r};");
+        }
+        for k in 0..stores {
+            let _ = writeln!(s, "  if (g{i}x{k}) {{ *c{i} = p{i}; }}");
+        }
+        let mlist: String = (0..locks).map(|r| format!(", m{i}x{r}")).collect();
+        let _ = writeln!(s, "  cv{i} = alloc v{i};");
+        let _ = writeln!(s, "  fork t{i} w{i}(c{i}, cv{i}{mlist});");
+        let _ = writeln!(s, "  wait cv{i};");
+        for r in 0..locks {
+            let _ = writeln!(s, "  lock m{i}x{r};");
+        }
+        let _ = writeln!(s, "  free p{i};");
+        for r in (0..locks).rev() {
+            let _ = writeln!(s, "  unlock m{i}x{r};");
+        }
+    }
+    s.push_str("}\n");
+    for i in 0..sources {
+        let llist: String = (0..locks).map(|r| format!(", l{r}")).collect();
+        let _ = writeln!(s, "fn w{i}(a, cv{llist}) {{");
+        s.push_str("  x = *a;\n");
+        for r in 0..locks {
+            let _ = writeln!(s, "  lock l{r};");
+        }
+        s.push_str("  use x;\n");
+        for r in (0..locks).rev() {
+            let _ = writeln!(s, "  unlock l{r};");
+        }
+        s.push_str("  notify cv;\n  notify cv;\n}\n");
+    }
+    let prog = canary_ir::parse(&s).expect("family subject parses");
+    prog.validate().expect("family subject validates");
+    prog
+}
+
 /// Reads a scaling knob from the environment with a default, so the
 /// figure binaries adapt to slow machines:
 /// `CANARY_BENCH_STMTS_PER_KLOC`, `CANARY_BENCH_TIMEOUT_SECS`.

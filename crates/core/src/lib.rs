@@ -363,6 +363,11 @@ impl Canary {
         let mut query_profiles = Vec::new();
         {
             let mut phase = tracer.span(LANE_PIPELINE, "pipeline", 2, || "detect".into());
+            // One query cache for the whole run: UNSAT cores and
+            // memoized verdicts learned by one checker refute later
+            // checkers' queries. Checkers run sequentially, so the
+            // cross-checker reuse is deterministic.
+            let mut qcache = canary_smt::QueryCache::new();
             for &kind in &self.config.checkers {
                 let (rs, refs, profs) = canary_detect::check_kind_traced(
                     &ctx,
@@ -371,6 +376,7 @@ impl Canary {
                     &detect_opts,
                     &mut stats,
                     tracer,
+                    &mut qcache,
                 );
                 reports.extend(rs);
                 refuted.extend(refs);

@@ -9,13 +9,13 @@ use std::time::Duration;
 use canary_dataflow::DataflowResult;
 use canary_ir::{Inst, Label, MhpAnalysis, Program, ThreadStructure, VarId};
 use canary_smt::{
-    check_all_recorded, Node, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
+    check_all_grouped, Node, QueryCache, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
 };
 use canary_trace::{Tracer, LANE_DETECT, LANE_SMT};
 use canary_vfg::{NodeId, NodeKind};
 
 use crate::constraints;
-use crate::path::{enumerate_paths, PathLimits, VfPath};
+use crate::path::{enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
 use crate::report::{BugKind, BugReport};
 use crate::sync::SyncModel;
 
@@ -96,6 +96,18 @@ pub struct DetectStats {
     pub learned: u64,
     /// Theory (order-cycle) lemmas across all validation queries.
     pub theory_lemmas: u64,
+    /// Query families formed by the incremental strategy (0 under
+    /// `fresh`).
+    pub families: u64,
+    /// Queries answered from the hash-consed result memo.
+    pub memo_hits: u64,
+    /// Queries refuted by UNSAT-core subsumption.
+    pub core_subsumed: u64,
+    /// Queries solved on a persistent family solver.
+    pub incremental: u64,
+    /// Learned clauses still alive on family solvers at family end —
+    /// reuse the fresh strategy discards between queries.
+    pub clauses_retained: u64,
 }
 
 /// Per-SMT-query attribution record (§5 validation): which candidate
@@ -129,6 +141,12 @@ pub struct QueryProfile {
     pub learned: u64,
     /// Theory lemmas fed back.
     pub theory_lemmas: u64,
+    /// Answered from the hash-consed result memo.
+    pub memo_hit: bool,
+    /// Refuted by UNSAT-core subsumption.
+    pub core_subsumed: bool,
+    /// Solved on a persistent family solver.
+    pub incremental: bool,
     /// Wall time spent solving (not deterministic).
     pub wall: Duration,
 }
@@ -180,12 +198,18 @@ impl<'p> DetectContext<'p> {
     }
 }
 
-/// A candidate finding awaiting SMT validation.
+/// A candidate finding awaiting SMT validation. `family` is the
+/// query-family key — the candidate's source label, so all paths out
+/// of one source (which share almost all of their guard and order
+/// conjuncts) land on one persistent solver. Candidates are emitted in
+/// source order, so equal keys are contiguous and families form
+/// deterministically.
 #[derive(Debug)]
 struct Candidate {
     query: TermId,
     report: BugReport,
     path_len: u64,
+    family: u64,
 }
 
 /// A candidate the solver refuted, with a deletion-minimal core of the
@@ -223,14 +247,27 @@ pub fn check_kind_explained(
     opts: &DetectOptions,
     stats: &mut DetectStats,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>) {
-    let (reports, refuted, _profiles) =
-        check_kind_traced(ctx, pool, kind, opts, stats, &Tracer::disabled());
+    let (reports, refuted, _profiles) = check_kind_traced(
+        ctx,
+        pool,
+        kind,
+        opts,
+        stats,
+        &Tracer::disabled(),
+        &mut QueryCache::new(),
+    );
     (reports, refuted)
 }
 
 /// [`check_kind_explained`] plus observability: a per-kind span on the
 /// detection lane, one span and one [`QueryProfile`] per SMT query on
 /// the SMT lane, and the solver-work counters folded into `stats`.
+///
+/// `cache` is the cross-checker [`QueryCache`]: pass the same instance
+/// to every checker of one analysis run so UNSAT cores and memoized
+/// verdicts learned by one checker refute later checkers' queries.
+/// Checkers run sequentially, so the reuse is deterministic.
+#[allow(clippy::too_many_arguments)]
 pub fn check_kind_traced(
     ctx: &DetectContext<'_>,
     pool: &mut TermPool,
@@ -238,6 +275,7 @@ pub fn check_kind_traced(
     opts: &DetectOptions,
     stats: &mut DetectStats,
     tracer: &Tracer,
+    cache: &mut QueryCache,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
     let paths_before = stats.candidate_paths;
     let mut span = tracer.span(LANE_DETECT, "detect", kind as u64, || {
@@ -270,7 +308,8 @@ pub fn check_kind_traced(
         (stats.candidate_paths - paths_before) as u64,
     );
     span.record("queries", candidates.len() as u64);
-    let (reports, refuted, profiles) = validate(ctx, pool, candidates, opts, stats, kind, tracer);
+    let (reports, refuted, profiles) =
+        validate(ctx, pool, candidates, opts, stats, kind, tracer, cache);
     span.record("confirmed", reports.len() as u64);
     span.finish();
     canary_trace::log(canary_trace::LogLevel::Debug, || {
@@ -290,6 +329,7 @@ pub fn check_all_kinds(
     opts: &DetectOptions,
     stats: &mut DetectStats,
 ) -> Vec<BugReport> {
+    let mut cache = QueryCache::new();
     let mut out = Vec::new();
     for kind in [
         BugKind::UseAfterFree,
@@ -297,7 +337,16 @@ pub fn check_all_kinds(
         BugKind::NullDeref,
         BugKind::DataLeak,
     ] {
-        out.extend(check_kind(ctx, pool, kind, opts, stats));
+        let (reports, _, _) = check_kind_traced(
+            ctx,
+            pool,
+            kind,
+            opts,
+            stats,
+            &Tracer::disabled(),
+            &mut cache,
+        );
+        out.extend(reports);
     }
     out
 }
@@ -332,11 +381,16 @@ fn validate(
     stats: &mut DetectStats,
     kind: BugKind,
     tracer: &Tracer,
+    cache: &mut QueryCache,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
     stats.queries += candidates.len();
     let queries: Vec<TermId> = candidates.iter().map(|c| c.query).collect();
+    let groups: Vec<u64> = candidates.iter().map(|c| c.family).collect();
     let solver_stats = SolverStats::default();
-    let outcomes = check_all_recorded(pool, &queries, &opts.solver, &solver_stats);
+    let grouped = check_all_grouped(pool, &queries, &groups, &opts.solver, &solver_stats, cache);
+    let outcomes = grouped.outcomes;
+    stats.families += grouped.families;
+    stats.clauses_retained += grouped.clauses_retained;
     let mut profiles = Vec::with_capacity(outcomes.len());
     for (qi, (cand, o)) in candidates.iter().zip(&outcomes).enumerate() {
         let (bool_atoms, order_atoms) = count_atoms(pool, cand.query);
@@ -354,6 +408,9 @@ fn validate(
             propagations: o.stats.propagations,
             learned: o.stats.learned,
             theory_lemmas: o.stats.theory_lemmas,
+            memo_hit: o.memo_hit,
+            core_subsumed: o.core_subsumed,
+            incremental: o.incremental,
             wall: o.wall,
         };
         // Aggregate only the per-query counters (not the shared atomics,
@@ -365,6 +422,9 @@ fn validate(
         stats.propagations += p.propagations;
         stats.learned += p.learned;
         stats.theory_lemmas += p.theory_lemmas;
+        stats.memo_hits += u64::from(p.memo_hit);
+        stats.core_subsumed += u64::from(p.core_subsumed);
+        stats.incremental += u64::from(p.incremental);
         tracer.event(
             LANE_SMT,
             "smt.query",
@@ -389,6 +449,9 @@ fn validate(
                     ("propagations", p.propagations),
                     ("learned", p.learned),
                     ("theory_lemmas", p.theory_lemmas),
+                    ("memo_hit", u64::from(p.memo_hit)),
+                    ("core_subsumed", u64::from(p.core_subsumed)),
+                    ("incremental", u64::from(p.incremental)),
                 ]
             },
         );
@@ -519,6 +582,9 @@ fn uaf_candidates(
     };
     sinks.sort_unstable();
     let sink_set: HashSet<NodeId> = sinks.iter().map(|&(n, _)| n).collect();
+    // One reverse-reachability pass for the whole checker: every
+    // source below enumerates against the same sink set.
+    let reach = SinkReach::compute(&ctx.df.vfg, &sink_set);
     let mut out = Vec::new();
     for free_label in ctx.prog.free_sites() {
         let Inst::Free { ptr } = ctx.prog.inst(free_label) else {
@@ -536,7 +602,7 @@ fn uaf_candidates(
             else {
                 continue;
             };
-            for p in enumerate_paths(&ctx.df.vfg, on, &sink_set, opts.limits) {
+            for p in enumerate_paths_pruned(&ctx.df.vfg, on, &sink_set, &reach, opts.limits) {
                 stats.candidate_paths += 1;
                 let sink_node = *p.nodes.last().expect("paths are nonempty");
                 let Some(&(_, sink_label)) =
@@ -585,6 +651,7 @@ fn flow_candidates(
     sinks: &[(NodeId, Label)],
 ) -> Vec<Candidate> {
     let sink_set: HashSet<NodeId> = sinks.iter().map(|&(n, _)| n).collect();
+    let reach = SinkReach::compute(&ctx.df.vfg, &sink_set);
     let mut out = Vec::new();
     for &(src_var, src_label) in sources {
         let Some(sn) = ctx
@@ -598,7 +665,7 @@ fn flow_candidates(
             continue;
         };
         let src_guard = ctx.df.path_conds.guard(src_label);
-        for p in enumerate_paths(&ctx.df.vfg, sn, &sink_set, opts.limits) {
+        for p in enumerate_paths_pruned(&ctx.df.vfg, sn, &sink_set, &reach, opts.limits) {
             stats.candidate_paths += 1;
             let sink_node = *p.nodes.last().expect("paths are nonempty");
             let Some(&(_, sink_label)) = sinks.iter().find(|&&(n, _)| n == sink_node) else {
@@ -688,6 +755,7 @@ fn finish_candidate(
     Some(Candidate {
         query,
         path_len: p.nodes.len() as u64,
+        family: u64::from(source.0),
         report: BugReport {
             kind,
             source,

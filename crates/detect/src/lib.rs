@@ -32,7 +32,7 @@ pub use detector::{
     check_all_kinds, check_kind, check_kind_explained, check_kind_traced, DetectContext,
     DetectOptions, DetectStats, MemoryModel, QueryProfile, RefutedCandidate,
 };
-pub use path::{enumerate_paths, PathLimits, VfPath};
+pub use path::{enumerate_paths, enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
 pub use report::{BugKind, BugReport};
 pub use schedule::complete_schedule;
 pub use sync::{LockRegion, SyncModel};

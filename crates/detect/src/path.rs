@@ -41,6 +41,45 @@ impl Default for PathLimits {
     }
 }
 
+/// The node set that can reach the sink set, precomputed once per
+/// (graph, sink-set) pair by a reverse BFS over `in_edges`. The DFS
+/// never expands a node outside this set — such a subtree can yield no
+/// path, so skipping it leaves the emitted path sequence (order,
+/// truncation, everything) byte-identical while cutting the walk to
+/// the productive part of the graph.
+#[derive(Clone, Debug)]
+pub struct SinkReach {
+    can_reach: Vec<bool>,
+}
+
+impl SinkReach {
+    /// Computes reverse reachability from `sinks` over `vfg`.
+    pub fn compute(vfg: &Vfg, sinks: &HashSet<NodeId>) -> SinkReach {
+        let mut can_reach = vec![false; vfg.node_count()];
+        let mut stack: Vec<NodeId> = Vec::with_capacity(sinks.len());
+        for &s in sinks {
+            if s.index() < can_reach.len() && !can_reach[s.index()] {
+                can_reach[s.index()] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            for e in vfg.in_edges(n) {
+                if !can_reach[e.from.index()] {
+                    can_reach[e.from.index()] = true;
+                    stack.push(e.from);
+                }
+            }
+        }
+        SinkReach { can_reach }
+    }
+
+    /// Whether `n` can reach some sink.
+    pub fn reaches(&self, n: NodeId) -> bool {
+        self.can_reach.get(n.index()).copied().unwrap_or(false)
+    }
+}
+
 /// Enumerates simple paths from `source` to any node in `sinks`.
 pub fn enumerate_paths(
     vfg: &Vfg,
@@ -48,14 +87,32 @@ pub fn enumerate_paths(
     sinks: &HashSet<NodeId>,
     limits: PathLimits,
 ) -> Vec<VfPath> {
+    let reach = SinkReach::compute(vfg, sinks);
+    enumerate_paths_pruned(vfg, source, sinks, &reach, limits)
+}
+
+/// [`enumerate_paths`] with the reverse-reachability set supplied by
+/// the caller — use this when many sources are enumerated against the
+/// same sink set, so the BFS runs once instead of once per source.
+pub fn enumerate_paths_pruned(
+    vfg: &Vfg,
+    source: NodeId,
+    sinks: &HashSet<NodeId>,
+    reach: &SinkReach,
+    limits: PathLimits,
+) -> Vec<VfPath> {
     let mut out = Vec::new();
+    if !reach.reaches(source) {
+        return out;
+    }
     let mut nodes = vec![source];
     let mut guards: Vec<TermId> = Vec::new();
     let mut kinds: Vec<EdgeKind> = Vec::new();
     let mut on_path: HashSet<NodeId> = HashSet::new();
     on_path.insert(source);
     dfs(
-        vfg, source, sinks, &limits, &mut nodes, &mut guards, &mut kinds, &mut on_path, &mut out,
+        vfg, source, sinks, reach, &limits, &mut nodes, &mut guards, &mut kinds, &mut on_path,
+        &mut out,
     );
     out
 }
@@ -65,6 +122,7 @@ fn dfs(
     vfg: &Vfg,
     cur: NodeId,
     sinks: &HashSet<NodeId>,
+    reach: &SinkReach,
     limits: &PathLimits,
     nodes: &mut Vec<NodeId>,
     guards: &mut Vec<TermId>,
@@ -87,14 +145,16 @@ fn dfs(
         return;
     }
     for e in vfg.out_edges(cur) {
-        if on_path.contains(&e.to) {
+        if on_path.contains(&e.to) || !reach.reaches(e.to) {
             continue;
         }
         nodes.push(e.to);
         guards.push(e.guard);
         kinds.push(e.kind);
         on_path.insert(e.to);
-        dfs(vfg, e.to, sinks, limits, nodes, guards, kinds, on_path, out);
+        dfs(
+            vfg, e.to, sinks, reach, limits, nodes, guards, kinds, on_path, out,
+        );
         on_path.remove(&e.to);
         kinds.pop();
         guards.pop();
@@ -199,6 +259,48 @@ mod tests {
         let start = NodeId(0);
         let paths = enumerate_paths(&g, start, &sinks, limits);
         assert_eq!(paths.len(), 16);
+    }
+
+    #[test]
+    fn pruning_skips_dead_subtrees_without_changing_output() {
+        // a → b → sink, plus a large dead branch a → d0 → d1 → … that
+        // cannot reach the sink. The pruned walk must produce exactly
+        // the same paths in the same order.
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let s = g.node(def(2, 2));
+        g.add_edge(a, b, EdgeKind::Direct, pool.tt());
+        g.add_edge(b, s, EdgeKind::Direct, pool.tt());
+        let mut prev = a;
+        for i in 0..20 {
+            let d = g.node(def(100 + i, 100 + i));
+            g.add_edge(prev, d, EdgeKind::Direct, pool.tt());
+            prev = d;
+        }
+        let sinks: HashSet<NodeId> = [s].into_iter().collect();
+        let reach = SinkReach::compute(&g, &sinks);
+        assert!(reach.reaches(a) && reach.reaches(b) && reach.reaches(s));
+        assert!(!reach.reaches(prev));
+        let paths = enumerate_paths(&g, a, &sinks, PathLimits::default());
+        let pruned = enumerate_paths_pruned(&g, a, &sinks, &reach, PathLimits::default());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes, pruned[0].nodes);
+        assert_eq!(paths[0].guards, pruned[0].guards);
+    }
+
+    #[test]
+    fn unreachable_source_returns_no_paths() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let s = g.node(def(2, 2));
+        g.add_edge(b, s, EdgeKind::Direct, pool.tt());
+        let _ = a;
+        let sinks: HashSet<NodeId> = [s].into_iter().collect();
+        assert!(enumerate_paths(&g, a, &sinks, PathLimits::default()).is_empty());
     }
 
     #[test]

@@ -65,6 +65,26 @@ pub fn encode(pool: &TermPool, root: TermId, solver: &mut SatSolver, enc: &mut E
     lit
 }
 
+/// Encodes `t` under an *activation literal*: asserts `act → t`, so the
+/// constraint is inert (trivially satisfiable by `¬act`) until `act` is
+/// passed as an assumption. This is how the query-family solver keeps
+/// one persistent solver per family: the shared conjunct prefix is
+/// asserted outright, each member's delta conjuncts are gated, and a
+/// member's query is one `solve_with_assumptions` call over its
+/// activation literals — learned clauses stay valid across members
+/// because the gating clause itself is part of the clause set.
+pub fn encode_gated(
+    pool: &TermPool,
+    t: TermId,
+    solver: &mut SatSolver,
+    enc: &mut Encoding,
+    act: Lit,
+) -> Lit {
+    let g = gate_of(pool, t, solver, enc);
+    solver.add_clause(&[act.negate(), g]);
+    g
+}
+
 /// Returns a literal equisatisfiably representing `t` (without
 /// asserting it).
 pub fn gate_of(pool: &TermPool, t: TermId, solver: &mut SatSolver, enc: &mut Encoding) -> Lit {

@@ -50,13 +50,14 @@ pub mod solver;
 pub mod term;
 pub mod theory;
 
-pub use cnf::{encode, Encoding};
+pub use cnf::{encode, encode_gated, Encoding};
 pub use core::{check_conjunction, minimal_core};
 pub use sat::{Lit, SatResult, SatSolver, SatStats, Var};
 pub use simplify::{obviously_false, obviously_true};
 pub use solver::{
-    check, check_all, check_all_recorded, check_counted, check_witness, check_witness_model,
-    QueryOutcome, QueryStats, SmtResult, SolverOptions, SolverStats, WitnessModel,
+    check, check_all, check_all_grouped, check_all_recorded, check_counted, check_witness,
+    check_witness_model, GroupedOutcome, QueryCache, QueryOutcome, QueryStats, SmtResult,
+    SolverOptions, SolverStats, SolverStrategy, WitnessModel,
 };
 pub use scratch::{ScratchLog, ScratchPool, TermRemap};
 pub use term::{AtomSet, EventId, Node, TermBuild, TermId, TermPool};

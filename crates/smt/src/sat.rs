@@ -156,6 +156,10 @@ pub struct SatSolver {
     /// Stats for the harness.
     pub stats: SatStats,
     ok: bool,
+    /// Assumption literals responsible for the last
+    /// unsat-under-assumptions answer (empty when the clause set alone
+    /// is unsatisfiable).
+    last_core: Vec<Lit>,
 }
 
 const NO_REASON: u32 = u32::MAX;
@@ -183,7 +187,24 @@ impl SatSolver {
             phase: Vec::new(),
             stats: SatStats::default(),
             ok: true,
+            last_core: Vec::new(),
         }
+    }
+
+    /// Whether the clause set is still possibly satisfiable (false once
+    /// a level-0 conflict has been derived).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// The subset of the assumption literals that the last
+    /// [`SatSolver::solve_with_assumptions`] call proved jointly
+    /// inconsistent with the clause set (MiniSat's *final conflict
+    /// clause*, unnegated). Empty when the last answer was `Sat`, or
+    /// when the clauses are unsatisfiable on their own — in that case
+    /// the refutation holds under *any* assumptions.
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.last_core
     }
 
     /// Allocates a fresh variable.
@@ -429,6 +450,43 @@ impl SatSolver {
         (learnt, bt)
     }
 
+    /// Resolves a conflict raised while only assumptions had been
+    /// decided back to the assumption decisions it depends on
+    /// (MiniSat's `analyzeFinal`). `seeds` are the literals of the
+    /// conflicting clause (or the falsified assumption itself); the
+    /// returned literals are the assumption decisions in the conflict
+    /// cone, i.e. `clauses ∧ core` is unsatisfiable.
+    fn analyze_final(&self, seeds: &[Lit]) -> Vec<Lit> {
+        let mut seen = vec![false; self.num_vars()];
+        for &l in seeds {
+            if self.level[l.var().index()] > 0 {
+                seen[l.var().index()] = true;
+            }
+        }
+        let mut core = Vec::new();
+        let start = self.trail_lim.first().map_or(self.trail.len(), |&s| s as usize);
+        for i in (start..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            if !seen[v.index()] {
+                continue;
+            }
+            let r = self.reason[v.index()];
+            if r == NO_REASON {
+                // A decision: with decision_level() <= #assumptions,
+                // every decision on the trail is an assumption.
+                core.push(self.trail[i]);
+            } else {
+                for &l in &self.clauses[r as usize].lits {
+                    if self.level[l.var().index()] > 0 {
+                        seen[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+        core.sort_unstable();
+        core
+    }
+
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
         match learnt.len() {
             0 => self.ok = false,
@@ -471,6 +529,7 @@ impl SatSolver {
     /// been decided means the clause set is unsatisfiable *under the
     /// assumptions*; learned clauses remain valid for later calls.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.last_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
@@ -494,6 +553,8 @@ impl SatSolver {
                 if self.decision_level() <= k {
                     // Every decision on the trail is an assumption, so
                     // the conflict follows from clauses + assumptions.
+                    let seeds = self.clauses[confl as usize].lits.clone();
+                    self.last_core = self.analyze_final(&seeds);
                     return SatResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
@@ -517,7 +578,16 @@ impl SatSolver {
                         // invariant "level i decides assumption i" holds.
                         self.trail_lim.push(self.trail.len() as u32);
                     }
-                    LBool::False => return SatResult::Unsat,
+                    LBool::False => {
+                        // `next` is already falsified: the core is the
+                        // cone of that assignment plus `next` itself.
+                        let mut core = self.analyze_final(&[next]);
+                        core.push(next);
+                        core.sort_unstable();
+                        core.dedup();
+                        self.last_core = core;
+                        return SatResult::Unsat;
+                    }
                     LBool::Undef => {
                         self.trail_lim.push(self.trail.len() as u32);
                         self.enqueue(next, NO_REASON);
@@ -689,6 +759,28 @@ mod tests {
         assert_eq!(s.solve_with_assumptions(&a), SatResult::Unsat);
         // Solver remains usable afterwards.
         assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn assumption_core_names_the_conflicting_subset() {
+        // ¬x1 ∨ ¬x2: assuming x1, x2, x3 is unsat, and the core must
+        // name exactly {x1, x2} — x3 is innocent.
+        let mut s = solver_with(3, &[&[-1, -2]]);
+        let a = lits(&[1, 2, 3]);
+        assert_eq!(s.solve_with_assumptions(&a), SatResult::Unsat);
+        let mut core = s.assumption_core().to_vec();
+        core.sort_unstable();
+        assert_eq!(core, lits(&[1, 2]));
+        // A satisfiable assumption set leaves no core behind.
+        assert!(s.solve_with_assumptions(&lits(&[1, 3])).is_sat());
+        assert!(s.assumption_core().is_empty());
+        // Clause-set-level unsat (no assumptions involved) reports an
+        // empty core: the refutation holds under any assumptions.
+        s.add_clause(&lits(&[1]));
+        s.add_clause(&lits(&[2]));
+        assert_eq!(s.solve_with_assumptions(&lits(&[3])), SatResult::Unsat);
+        assert!(s.assumption_core().is_empty());
+        assert!(!s.is_ok());
     }
 
     #[test]

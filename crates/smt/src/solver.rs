@@ -12,14 +12,26 @@
 //!    embarrassingly);
 //! 3. *cube-and-conquer* splitting of a single hard query on its most
 //!    frequent atoms.
+//!
+//! On top of these sits the *query-family* back-end
+//! ([`check_all_grouped`], [`SolverStrategy::Incremental`]): related
+//! queries (same checker, same source) are solved on one persistent
+//! [`SatSolver`] — the shared conjunct prefix is encoded once, each
+//! member's delta conjuncts are activated via assumption literals, and
+//! learned clauses plus theory lemmas stay alive across the family.
+//! Refuted members leave behind an UNSAT-core subsumption entry in a
+//! [`QueryCache`], and hash-consed duplicate queries are answered from
+//! a result memo, so whole queries are discharged without touching the
+//! CDCL core at all.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use crate::cnf::{encode, Encoding};
-use crate::sat::{Lit, SatResult, SatSolver, Var};
+use crate::cnf::{encode, encode_gated, Encoding};
+use crate::sat::{Lit, SatResult, SatSolver, SatStats, Var};
 use crate::simplify::obviously_false;
-use crate::term::{Node, TermId, TermPool};
+use crate::term::{EventId, Node, TermId, TermPool};
 use crate::theory::{check_orders, OrderEdge, TheoryResult};
 
 /// Result of an SMT query.
@@ -39,6 +51,50 @@ impl SmtResult {
     }
 }
 
+/// How a batch of related queries is discharged by
+/// [`check_all_grouped`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolverStrategy {
+    /// One fresh CNF encoding and CDCL solver per query. Kept as the
+    /// ablation baseline and as the reference semantics the
+    /// equivalence suite compares against.
+    Fresh,
+    /// Query-family solving: one persistent solver per family with the
+    /// shared conjunct prefix asserted once, per-member delta conjuncts
+    /// activated through assumption literals, UNSAT-core subsumption,
+    /// and hash-consed result memoization.
+    Incremental,
+}
+
+impl SolverStrategy {
+    /// Parses a CLI / env spelling of a strategy.
+    pub fn parse(s: &str) -> Option<SolverStrategy> {
+        match s {
+            "fresh" => Some(SolverStrategy::Fresh),
+            "incremental" => Some(SolverStrategy::Incremental),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SolverStrategy::Fresh => "fresh",
+            SolverStrategy::Incremental => "incremental",
+        }
+    }
+
+    /// The default strategy, overridable via `CANARY_SOLVER_STRATEGY`
+    /// (the same pattern `CANARY_TEST_THREADS` uses for the thread
+    /// count, so CI can ablate without touching every invocation).
+    pub fn from_env() -> SolverStrategy {
+        match std::env::var("CANARY_SOLVER_STRATEGY") {
+            Ok(v) => SolverStrategy::parse(&v).unwrap_or(SolverStrategy::Incremental),
+            Err(_) => SolverStrategy::Incremental,
+        }
+    }
+}
+
 /// Options controlling the solving strategy.
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
@@ -48,6 +104,8 @@ pub struct SolverOptions {
     pub num_threads: usize,
     /// Atoms to split on for cube-and-conquer (0 disables).
     pub cube_split: usize,
+    /// Fresh-per-query or incremental query-family solving.
+    pub strategy: SolverStrategy,
 }
 
 impl Default for SolverOptions {
@@ -56,6 +114,7 @@ impl Default for SolverOptions {
             prefilter: true,
             num_threads: 1,
             cube_split: 0,
+            strategy: SolverStrategy::from_env(),
         }
     }
 }
@@ -82,6 +141,10 @@ pub struct SolverStats {
     pub restarts: AtomicU64,
     /// Learned (conflict + theory) clauses retained across all queries.
     pub learned: AtomicU64,
+    /// Queries answered from the hash-consed result memo.
+    pub memo_hits: AtomicU64,
+    /// Queries refuted by UNSAT-core subsumption.
+    pub core_subsumed: AtomicU64,
 }
 
 impl SolverStats {
@@ -437,6 +500,14 @@ pub struct QueryOutcome {
     pub started: Instant,
     /// Wall time spent solving this query.
     pub wall: Duration,
+    /// Answered from the hash-consed result memo — no solver touched.
+    pub memo_hit: bool,
+    /// Refuted because a cached UNSAT core is a subset of this query's
+    /// conjunct set — no solver touched.
+    pub core_subsumed: bool,
+    /// Solved on a persistent family solver via assumption literals
+    /// (as opposed to the fresh-per-query path or a cache hit).
+    pub incremental: bool,
 }
 
 /// Solves many independent queries, optionally in parallel (§5.2:
@@ -470,6 +541,9 @@ pub fn check_all_recorded(
             stats: qstats,
             started,
             wall: started.elapsed(),
+            memo_hit: false,
+            core_subsumed: false,
+            incremental: false,
         }
     };
     if opts.num_threads <= 1 || queries.len() <= 1 {
@@ -498,6 +572,501 @@ pub fn check_all_recorded(
         .into_iter()
         .map(|m| m.into_inner().expect("scope joined").expect("all indices visited"))
         .collect()
+}
+
+/// Cross-query result cache for the incremental strategy: a verdict
+/// memo keyed on hash-consed [`TermId`]s plus the UNSAT-core
+/// subsumption store.
+///
+/// Both parts are *semantically* deterministic: the memo value for a
+/// term is its theory satisfiability (independent of which family
+/// solved it first), and cores are appended in family-commit order at
+/// the batch barrier, so lookups never depend on scheduling.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    /// Hash-consed query term → verdict.
+    memo: HashMap<TermId, SmtResult>,
+    /// Refuted conjunct sets (each sorted): any query whose conjunct
+    /// set is a superset of an entry is unsat without solving.
+    cores: Vec<Vec<TermId>>,
+    /// Dedup guard for `cores`.
+    core_seen: HashSet<Vec<TermId>>,
+}
+
+impl QueryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The memoized verdict for `t`, if any.
+    pub fn lookup(&self, t: TermId) -> Option<SmtResult> {
+        self.memo.get(&t).copied()
+    }
+
+    /// Memoizes a verdict (first write wins; all writers agree on the
+    /// value because the verdict is a property of the term alone).
+    pub fn memoize(&mut self, t: TermId, r: SmtResult) {
+        self.memo.entry(t).or_insert(r);
+    }
+
+    /// Whether some cached refuted conjunct set is a subset of the
+    /// (sorted) conjunct set `conj` — if so, `conj` is unsat.
+    pub fn subsumes(&self, conj: &[TermId]) -> bool {
+        self.cores.iter().any(|c| is_sorted_subset(c, conj))
+    }
+
+    /// Records a refuted conjunct set (must be sorted). Empty sets are
+    /// ignored defensively — an empty core would subsume everything.
+    pub fn insert_core(&mut self, core: Vec<TermId>) {
+        if core.is_empty() || self.core_seen.contains(&core) {
+            return;
+        }
+        self.core_seen.insert(core.clone());
+        self.cores.push(core);
+    }
+
+    /// Merges another cache into this one (used at the deterministic
+    /// per-batch barrier, in family-commit order).
+    pub fn merge(&mut self, other: QueryCache) {
+        for (t, r) in other.memo {
+            self.memoize(t, r);
+        }
+        for c in other.cores {
+            self.insert_core(c);
+        }
+    }
+
+    /// Number of memoized verdicts.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Number of cached UNSAT cores.
+    pub fn core_len(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+/// Whether sorted `sub` is a subset of sorted `sup` (two-pointer walk;
+/// exact — never fires on a non-superset).
+fn is_sorted_subset(sub: &[TermId], sup: &[TermId]) -> bool {
+    let mut i = 0;
+    for &x in sup {
+        if i == sub.len() {
+            return true;
+        }
+        if sub[i] == x {
+            i += 1;
+        } else if sub[i] < x {
+            return false;
+        }
+    }
+    i == sub.len()
+}
+
+/// `all \ minus` for sorted slices, preserving order.
+fn sorted_diff(all: &[TermId], minus: &[TermId]) -> Vec<TermId> {
+    let mut out = Vec::with_capacity(all.len().saturating_sub(minus.len()));
+    let mut j = 0;
+    for &x in all {
+        while j < minus.len() && minus[j] < x {
+            j += 1;
+        }
+        if j < minus.len() && minus[j] == x {
+            j += 1;
+        } else {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// The result of a grouped batch: per-query outcomes in input order
+/// plus family-level aggregates.
+#[derive(Debug)]
+pub struct GroupedOutcome {
+    /// One record per query, in query order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Query families formed (0 under [`SolverStrategy::Fresh`]).
+    pub families: u64,
+    /// Learned clauses alive on family solvers at family end — the
+    /// state the fresh strategy would have thrown away between queries.
+    pub clauses_retained: u64,
+}
+
+/// Persistent per-family solver state: one [`SatSolver`] carrying the
+/// shared conjunct prefix, the Tseitin encoding shared by all members,
+/// and the activation literal assigned to each distinct delta conjunct.
+struct FamilySolver {
+    sat: SatSolver,
+    enc: Encoding,
+    acts: HashMap<TermId, Lit>,
+    /// Order atoms mentioned by the shared prefix.
+    shared_orders: HashSet<(EventId, EventId)>,
+    /// Order atoms mentioned by each delta conjunct (memoized).
+    delta_orders: HashMap<TermId, Vec<(EventId, EventId)>>,
+}
+
+impl FamilySolver {
+    fn new(pool: &TermPool, shared: &[TermId]) -> FamilySolver {
+        let mut sat = SatSolver::new();
+        let mut enc = Encoding::default();
+        let mut shared_orders = HashSet::new();
+        let mut seen = HashSet::new();
+        for &c in shared {
+            encode(pool, c, &mut sat, &mut enc);
+            collect_order_atoms(pool, c, &mut seen, &mut shared_orders);
+        }
+        FamilySolver {
+            sat,
+            enc,
+            acts: HashMap::new(),
+            shared_orders,
+            delta_orders: HashMap::new(),
+        }
+    }
+}
+
+/// Collects the canonical `(a, b)` event pair of every order atom
+/// reachable from `t`. The persistent family solver carries the union
+/// of all members' atoms, but a member's theory check must range over
+/// exactly the atoms *its* formula mentions — matching the fresh
+/// strategy's semantics and keeping the orientation graph from growing
+/// with the family (inactive members' gated atoms are irrelevant to the
+/// active query).
+fn collect_order_atoms(
+    pool: &TermPool,
+    t: TermId,
+    seen: &mut HashSet<TermId>,
+    out: &mut HashSet<(EventId, EventId)>,
+) {
+    if !seen.insert(t) {
+        return;
+    }
+    match pool.node(t) {
+        Node::Order(a, b) => {
+            out.insert((*a, *b));
+        }
+        Node::Not(x) => collect_order_atoms(pool, *x, seen, out),
+        Node::And(xs) | Node::Or(xs) => {
+            for &x in xs {
+                collect_order_atoms(pool, x, seen, out);
+            }
+        }
+        Node::True | Node::False | Node::BoolAtom(_) => {}
+    }
+}
+
+/// What one family hands back to the batch driver for the
+/// deterministic merge.
+struct FamilyOutput {
+    outcomes: Vec<QueryOutcome>,
+    additions: QueryCache,
+    clauses_retained: u64,
+}
+
+/// Solves one query family on a persistent solver.
+///
+/// The shared conjunct prefix (intersection of all members' conjunct
+/// sets) is asserted outright; each member then becomes one
+/// `solve_with_assumptions` call over the activation literals of its
+/// delta conjuncts. Learned clauses stay valid across members because
+/// the gating clauses are part of the clause set, and theory lemmas
+/// are globally valid (they block cyclic orientations). `snapshot` is
+/// the cache state at batch start — shared by every family in the
+/// batch so results cannot depend on family scheduling.
+fn solve_family(
+    pool: &TermPool,
+    queries: &[TermId],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+    snapshot: &QueryCache,
+) -> FamilyOutput {
+    let conjs: Vec<Vec<TermId>> = queries.iter().map(|&t| pool.conjuncts_of(t)).collect();
+    let mut shared = conjs[0].clone();
+    for c in conjs.iter().skip(1) {
+        shared.retain(|x| c.binary_search(x).is_ok());
+    }
+    let mut local = QueryCache::new();
+    let mut fam: Option<FamilySolver> = None;
+    // Solve members with the fewest conjuncts first (ties broken by
+    // candidate order, so the schedule is deterministic). A smaller
+    // member's conjunct set is closer to the shared prefix, so its
+    // refutation leaves behind the most subsuming core — and solving
+    // it first keeps the persistent solver small, before larger
+    // members' delta encodings pile up. Outcomes are emitted in the
+    // caller's order regardless.
+    let mut order: Vec<usize> = (0..queries.len()).collect();
+    order.sort_by_key(|&i| (conjs[i].len(), i));
+    let mut outcomes: Vec<Option<QueryOutcome>> = (0..queries.len()).map(|_| None).collect();
+    for i in order {
+        let t = queries[i];
+        let started = Instant::now();
+        let mut q = QueryStats::default();
+        let mut memo_hit = false;
+        let mut core_subsumed = false;
+        let mut incremental = false;
+        // The prefilter runs first in both strategies, so the
+        // `prefiltered` counter is strategy-invariant.
+        let result = if opts.prefilter && t == pool.tt() {
+            stats.prefiltered.fetch_add(1, Ordering::Relaxed);
+            q.prefiltered = true;
+            SmtResult::Sat
+        } else if opts.prefilter && obviously_false(pool, t) {
+            stats.prefiltered.fetch_add(1, Ordering::Relaxed);
+            q.prefiltered = true;
+            SmtResult::Unsat
+        } else if let Some(r) = snapshot.lookup(t).or_else(|| local.lookup(t)) {
+            stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            memo_hit = true;
+            r
+        } else if snapshot.subsumes(&conjs[i]) || local.subsumes(&conjs[i]) {
+            stats.core_subsumed.fetch_add(1, Ordering::Relaxed);
+            core_subsumed = true;
+            local.memoize(t, SmtResult::Unsat);
+            SmtResult::Unsat
+        } else {
+            stats.solved.fetch_add(1, Ordering::Relaxed);
+            incremental = true;
+            let was_absent = fam.is_none();
+            let fam = fam.get_or_insert_with(|| FamilySolver::new(pool, &shared));
+            // The member that forced solver construction also pays for
+            // encoding the shared prefix (as the fresh path would).
+            let base = if was_absent {
+                SatStats::default()
+            } else {
+                fam.sat.stats
+            };
+            let r = solve_member(pool, fam, &shared, &conjs[i], stats, &mut q, &mut local, base);
+            stats.absorb(&q);
+            local.memoize(t, r);
+            r
+        };
+        outcomes[i] = Some(QueryOutcome {
+            result,
+            stats: q,
+            started,
+            wall: started.elapsed(),
+            memo_hit,
+            core_subsumed,
+            incremental,
+        });
+    }
+    FamilyOutput {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every member solved"))
+            .collect(),
+        additions: local,
+        clauses_retained: fam.map_or(0, |f| f.sat.num_learnt() as u64),
+    }
+}
+
+/// One member's CDCL(T) loop on the persistent family solver. On
+/// refutation, records the refuted conjunct set (shared prefix plus
+/// the assumption core's delta conjuncts) into `local`. `base` is the
+/// solver-counter baseline this member's work is measured against.
+#[allow(clippy::too_many_arguments)]
+fn solve_member(
+    pool: &TermPool,
+    fam: &mut FamilySolver,
+    shared: &[TermId],
+    conj: &[TermId],
+    stats: &SolverStats,
+    q: &mut QueryStats,
+    local: &mut QueryCache,
+    base: SatStats,
+) -> SmtResult {
+    let deltas = sorted_diff(conj, shared);
+    let mut assumptions = Vec::with_capacity(deltas.len());
+    let mut by_lit: HashMap<Lit, TermId> = HashMap::with_capacity(deltas.len());
+    for &d in &deltas {
+        let lit = match fam.acts.get(&d) {
+            Some(&l) => l,
+            None => {
+                let l = Lit::pos(fam.sat.new_var());
+                encode_gated(pool, d, &mut fam.sat, &mut fam.enc, l);
+                let mut seen = HashSet::new();
+                let mut orders = HashSet::new();
+                collect_order_atoms(pool, d, &mut seen, &mut orders);
+                let mut orders: Vec<_> = orders.into_iter().collect();
+                orders.sort_unstable();
+                fam.delta_orders.insert(d, orders);
+                fam.acts.insert(d, l);
+                l
+            }
+        };
+        by_lit.insert(lit, d);
+        assumptions.push(lit);
+    }
+    // The theory check ranges over exactly the order atoms of *this*
+    // member's formula (shared prefix + its deltas) — the same scope
+    // the fresh strategy would orient. Without the restriction the
+    // orientation graph grows with every member encoded, and cycles
+    // among inactive gated atoms cost spurious lemmas.
+    let mut scope: HashSet<Var> = fam
+        .shared_orders
+        .iter()
+        .filter_map(|p| fam.enc.order_vars.get(p).copied())
+        .collect();
+    for d in &deltas {
+        for p in &fam.delta_orders[d] {
+            if let Some(&v) = fam.enc.order_vars.get(p) {
+                scope.insert(v);
+            }
+        }
+    }
+    let before = base;
+    let learnt_before = fam.sat.num_learnt() as u64;
+    let result = loop {
+        match fam.sat.solve_with_assumptions(&assumptions) {
+            SatResult::Unsat => break SmtResult::Unsat,
+            SatResult::Sat(model) => {
+                let oriented = fam.enc.oriented_edges(&model);
+                let edges: Vec<OrderEdge> = oriented
+                    .iter()
+                    .filter(|&&(_, _, var)| scope.contains(&var))
+                    .map(|&(from, to, var)| OrderEdge {
+                        from,
+                        to,
+                        atom: var.index(),
+                    })
+                    .collect();
+                match check_orders(&edges) {
+                    TheoryResult::Consistent => break SmtResult::Sat,
+                    TheoryResult::Conflict(vars) => {
+                        stats.theory_lemmas.fetch_add(1, Ordering::Relaxed);
+                        q.theory_lemmas += 1;
+                        // Block this orientation of the cycle. The
+                        // lemma is theory-valid, so it stays sound for
+                        // every later member of the family.
+                        let clause: Vec<Lit> = vars
+                            .iter()
+                            .map(|&vi| {
+                                let v = Var(vi as u32);
+                                Lit::new(v, !model[vi])
+                            })
+                            .collect();
+                        if !fam.sat.add_clause(&clause) {
+                            break SmtResult::Unsat;
+                        }
+                    }
+                }
+            }
+        }
+    };
+    if std::env::var_os("CANARY_SMT_DEBUG").is_some() {
+        eprintln!(
+            "[smt-debug] member: vars={} assumptions={} decisions=+{} props=+{} lemmas={} result={result:?}",
+            fam.sat.num_vars(),
+            assumptions.len(),
+            fam.sat.stats.decisions - before.decisions,
+            fam.sat.stats.propagations - before.propagations,
+            q.theory_lemmas,
+        );
+    }
+    q.decisions += fam.sat.stats.decisions - before.decisions;
+    q.conflicts += fam.sat.stats.conflicts - before.conflicts;
+    q.propagations += fam.sat.stats.propagations - before.propagations;
+    q.restarts += fam.sat.stats.restarts - before.restarts;
+    q.learned += fam.sat.num_learnt() as u64 - learnt_before;
+    if result == SmtResult::Unsat {
+        let refuted = if fam.sat.is_ok() {
+            // Shared prefix plus the deltas in the assumption core are
+            // jointly theory-unsat; any superset of that conjunct set
+            // is too.
+            let mut set: Vec<TermId> = shared.to_vec();
+            for l in fam.sat.assumption_core() {
+                if let Some(&d) = by_lit.get(l) {
+                    set.push(d);
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            set
+        } else {
+            // The clause set alone went unsat: definitions are
+            // conservative, gating clauses are satisfiable by leaving
+            // activations off, and lemmas are theory-valid — so the
+            // shared prefix by itself is refuted.
+            shared.to_vec()
+        };
+        local.insert_core(refuted);
+    }
+    result
+}
+
+/// Like [`check_all_recorded`], but queries carry a *group key*
+/// (`groups[i]`, e.g. the candidate's source label): maximal contiguous
+/// runs of equal keys form query families, solved per
+/// `opts.strategy`. Families are formed in candidate order, solved
+/// independently (possibly in parallel), and committed in family
+/// order; `cache` is read as a frozen snapshot during the batch and
+/// the families' additions are merged back in family order afterwards
+/// — so outcomes are byte-identical for every `num_threads`.
+pub fn check_all_grouped(
+    pool: &TermPool,
+    queries: &[TermId],
+    groups: &[u64],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+    cache: &mut QueryCache,
+) -> GroupedOutcome {
+    assert_eq!(queries.len(), groups.len(), "one group key per query");
+    if opts.strategy == SolverStrategy::Fresh {
+        return GroupedOutcome {
+            outcomes: check_all_recorded(pool, queries, opts, stats),
+            families: 0,
+            clauses_retained: 0,
+        };
+    }
+    let mut fams: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for i in 1..=queries.len() {
+        if i == queries.len() || groups[i] != groups[start] {
+            fams.push((start, i));
+            start = i;
+        }
+    }
+    let snapshot: &QueryCache = cache;
+    let run = |&(s, e): &(usize, usize)| solve_family(pool, &queries[s..e], opts, stats, snapshot);
+    let outputs: Vec<FamilyOutput> = if opts.num_threads <= 1 || fams.len() <= 1 {
+        fams.iter().map(run).collect()
+    } else {
+        let next = AtomicU64::new(0);
+        let slots: Vec<std::sync::Mutex<Option<FamilyOutput>>> =
+            fams.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..opts.num_threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if i >= fams.len() {
+                        return;
+                    }
+                    let out = run(&fams[i]);
+                    *slots[i].lock().expect("no poisoning: workers do not panic") = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("scope joined").expect("all indices visited"))
+            .collect()
+    };
+    let families = fams.len() as u64;
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut clauses_retained = 0;
+    for out in outputs {
+        outcomes.extend(out.outcomes);
+        clauses_retained += out.clauses_retained;
+        cache.merge(out.additions);
+    }
+    GroupedOutcome {
+        outcomes,
+        families,
+        clauses_retained,
+    }
 }
 
 #[cfg(test)]
@@ -632,6 +1201,167 @@ mod tests {
     }
 
     #[test]
+    fn sorted_subset_is_exact() {
+        let t = |x: u32| TermId(x);
+        let sub = vec![t(1), t(3)];
+        assert!(is_sorted_subset(&sub, &[t(0), t(1), t(2), t(3)]));
+        assert!(is_sorted_subset(&sub, &[t(1), t(3)]));
+        assert!(!is_sorted_subset(&sub, &[t(1), t(2)]));
+        assert!(!is_sorted_subset(&sub, &[t(3)]));
+        assert!(is_sorted_subset(&[], &[t(7)]));
+        assert_eq!(
+            sorted_diff(&[t(0), t(1), t(2), t(3)], &[t(1), t(3)]),
+            vec![t(0), t(2)]
+        );
+    }
+
+    #[test]
+    fn cached_core_refutes_strict_superset_never_non_superset() {
+        let mut cache = QueryCache::new();
+        let t = |x: u32| TermId(x);
+        cache.insert_core(vec![t(2), t(5)]);
+        // Strict superset: refuted without solving.
+        assert!(cache.subsumes(&[t(1), t(2), t(5), t(9)]));
+        // The refuted set itself.
+        assert!(cache.subsumes(&[t(2), t(5)]));
+        // Non-supersets: never fires.
+        assert!(!cache.subsumes(&[t(2), t(9)]));
+        assert!(!cache.subsumes(&[t(5)]));
+        assert!(!cache.subsumes(&[]));
+        // Empty cores are ignored — they would subsume everything.
+        cache.insert_core(Vec::new());
+        assert!(!cache.subsumes(&[t(1)]));
+    }
+
+    #[test]
+    fn family_core_subsumption_and_memo_fire_in_batch() {
+        let mut p = TermPool::new();
+        let oa = p.order_lt(10, 11);
+        let o12 = p.order_lt(1, 2);
+        let o23 = p.order_lt(2, 3);
+        let o31 = p.order_lt(3, 1);
+        let b = p.bool_atom(0);
+        let q_sat = p.and([oa, o12, o23]);
+        let q_unsat = p.and([oa, o12, o23, o31]); // order cycle
+        let q_super = p.and([oa, o12, o23, o31, b]); // superset of the core
+        let q_other = p.and([oa, o12, b]); // shares atoms but no cycle
+        let q_dup = q_sat; // hash-consed duplicate
+        let queries = [q_sat, q_unsat, q_super, q_other, q_dup];
+        let groups = [7u64; 5];
+        let opts = SolverOptions {
+            prefilter: false, // force everything past the prefilter
+            strategy: SolverStrategy::Incremental,
+            ..SolverOptions::default()
+        };
+        let stats = SolverStats::default();
+        let mut cache = QueryCache::new();
+        let out = check_all_grouped(&p, &queries, &groups, &opts, &stats, &mut cache);
+        let verdicts: Vec<SmtResult> = out.outcomes.iter().map(|o| o.result).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                SmtResult::Sat,
+                SmtResult::Unsat,
+                SmtResult::Unsat,
+                SmtResult::Sat,
+                SmtResult::Sat
+            ]
+        );
+        assert_eq!(out.families, 1);
+        assert!(out.outcomes[1].incremental);
+        // The superset of the refuted set is discharged by the core
+        // cache, the duplicate by the memo — neither touches a solver.
+        assert!(out.outcomes[2].core_subsumed);
+        assert!(!out.outcomes[3].core_subsumed && !out.outcomes[3].memo_hit);
+        assert!(out.outcomes[4].memo_hit);
+        // The batch merged its additions into the caller's cache.
+        assert!(cache.core_len() >= 1);
+        assert!(cache.subsumes(&p.conjuncts_of(q_super)));
+        // A later batch reuses the merged cache across families.
+        let out2 = check_all_grouped(&p, &[q_super], &[99], &opts, &stats, &mut cache);
+        assert_eq!(out2.outcomes[0].result, SmtResult::Unsat);
+        assert!(out2.outcomes[0].memo_hit || out2.outcomes[0].core_subsumed);
+    }
+
+    #[test]
+    fn grouped_incremental_matches_fresh_verdicts() {
+        let mut p = TermPool::new();
+        let mut queries = Vec::new();
+        let mut groups = Vec::new();
+        for src in 0..4u64 {
+            let base = p.order_lt(src as u32 * 10, src as u32 * 10 + 1);
+            let g = p.bool_atom(src as u32);
+            for k in 0..4u32 {
+                let d1 = p.order_lt(k, k + 1);
+                let q = if k == 3 {
+                    // An order cycle hidden behind the shared prefix.
+                    let c1 = p.order_lt(100, 101);
+                    let c2 = p.order_lt(101, 100);
+                    p.and([base, g, c1, c2])
+                } else {
+                    p.and([base, g, d1])
+                };
+                queries.push(q);
+                groups.push(src);
+            }
+        }
+        let stats_f = SolverStats::default();
+        let stats_i = SolverStats::default();
+        let fresh = SolverOptions {
+            strategy: SolverStrategy::Fresh,
+            ..SolverOptions::default()
+        };
+        let incr = SolverOptions {
+            strategy: SolverStrategy::Incremental,
+            ..SolverOptions::default()
+        };
+        let mut c1 = QueryCache::new();
+        let mut c2 = QueryCache::new();
+        let a = check_all_grouped(&p, &queries, &groups, &fresh, &stats_f, &mut c1);
+        let b = check_all_grouped(&p, &queries, &groups, &incr, &stats_i, &mut c2);
+        let va: Vec<SmtResult> = a.outcomes.iter().map(|o| o.result).collect();
+        let vb: Vec<SmtResult> = b.outcomes.iter().map(|o| o.result).collect();
+        assert_eq!(va, vb);
+        // Prefilter accounting is strategy-invariant.
+        let pa: Vec<bool> = a.outcomes.iter().map(|o| o.stats.prefiltered).collect();
+        let pb: Vec<bool> = b.outcomes.iter().map(|o| o.stats.prefiltered).collect();
+        assert_eq!(pa, pb);
+        assert_eq!(a.families, 0);
+        assert_eq!(b.families, 4);
+    }
+
+    #[test]
+    fn grouped_parallel_output_is_byte_identical_to_sequential() {
+        let mut p = TermPool::new();
+        let mut queries = Vec::new();
+        let mut groups = Vec::new();
+        for src in 0..6u64 {
+            let base = p.order_lt(src as u32 * 10, src as u32 * 10 + 1);
+            for k in 0..3u32 {
+                let d = p.order_lt(k, k + 1);
+                let q = p.and([base, d]);
+                queries.push(q);
+                groups.push(src);
+            }
+        }
+        let mk = |threads: usize| {
+            let stats = SolverStats::default();
+            let opts = SolverOptions {
+                num_threads: threads,
+                strategy: SolverStrategy::Incremental,
+                ..SolverOptions::default()
+            };
+            let mut cache = QueryCache::new();
+            let out = check_all_grouped(&p, &queries, &groups, &opts, &stats, &mut cache);
+            out.outcomes
+                .iter()
+                .map(|o| (o.result, o.stats, o.memo_hit, o.core_subsumed, o.incremental))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(4));
+    }
+
+    #[test]
     fn cube_and_conquer_agrees_with_plain_solving() {
         let mut p = TermPool::new();
         // A formula with enough booleans to split on.
@@ -651,6 +1381,7 @@ mod tests {
             num_threads: 4,
             cube_split: 3,
             prefilter: false,
+            ..SolverOptions::default()
         };
         let s1 = SolverStats::default();
         let s2 = SolverStats::default();

@@ -170,6 +170,20 @@ impl TermPool {
         TermBuild::implies(self, a, b)
     }
 
+    /// The top-level conjuncts of `t` as a sorted, deduplicated set of
+    /// term ids: the parts of an `And` (already canonical by
+    /// construction), the empty set for `true`, and the singleton `[t]`
+    /// otherwise. Because terms are hash-consed, equal conjunct sets
+    /// mean semantically identical conjunctions — the unit the
+    /// query-family solver groups, diffs, and subsumption-checks on.
+    pub fn conjuncts_of(&self, t: TermId) -> Vec<TermId> {
+        match self.node(t) {
+            Node::And(xs) => xs.clone(),
+            Node::True => Vec::new(),
+            _ => vec![t],
+        }
+    }
+
     /// Collects the atoms (bool and order) appearing under `t`.
     pub fn atoms_of(&self, t: TermId) -> AtomSet {
         let mut set = AtomSet::default();

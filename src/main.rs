@@ -15,6 +15,10 @@
 //!   --threads N           front-end worker threads (default 1; output
 //!                         is byte-identical for any value)
 //!   --solver-threads N    parallel SMT query workers (default 1)
+//!   --solver-strategy S   fresh (one solver per query) or incremental
+//!                         (query-family solving with UNSAT-core
+//!                         subsumption and memoization; the default,
+//!                         also settable via CANARY_SOLVER_STRATEGY)
 //!   --unroll K            loop unrolling depth (default 2)
 //!   --context-depth N     clone-based context sensitivity depth
 //!                         (default 0 = context-insensitive)
@@ -46,7 +50,7 @@ use canary_core::{Canary, CanaryConfig};
 use canary_detect::{BugKind, MemoryModel};
 use canary_interference::InterferenceOptions;
 use canary_ir::ParseOptions;
-use canary_smt::SolverOptions;
+use canary_smt::{SolverOptions, SolverStrategy};
 
 /// Rows shown in the `--stats` / `--json` hottest-queries and
 /// hottest-functions tables.
@@ -56,7 +60,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
          [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
-         [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] [--unroll K] \
+         [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] \
+         [--solver-strategy fresh|incremental] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
          [--tool canary|saber|fsam] [--explain] [--verify-witnesses] \
          [--trace-out FILE] [--stats]"
@@ -155,6 +160,18 @@ fn parse_args(args: &[String]) -> Cli {
                 };
                 config.detect.solver = SolverOptions {
                     num_threads: n,
+                    ..config.detect.solver
+                };
+            }
+            "--solver-strategy" => {
+                i += 1;
+                let Some(s) = args.get(i) else { usage() };
+                let Some(strategy) = SolverStrategy::parse(s) else {
+                    eprintln!("unknown solver strategy `{s}` (fresh|incremental)");
+                    usage()
+                };
+                config.detect.solver = SolverOptions {
+                    strategy,
                     ..config.detect.solver
                 };
             }
@@ -287,6 +304,7 @@ fn main() -> ExitCode {
     } else {
         canary_trace::Tracer::disabled()
     };
+    let strategy = cli.config.detect.solver.strategy;
     let outcome = Canary::with_config(cli.config).analyze_traced(&prog, &tracer);
     if let Some(path) = &cli.trace_out {
         if let Err(e) = std::fs::write(path, tracer.export_chrome()) {
@@ -334,6 +352,9 @@ fn main() -> ExitCode {
                     "order_atoms": p.order_atoms,
                     "sat": p.sat,
                     "prefiltered": p.prefiltered,
+                    "memo_hit": p.memo_hit,
+                    "core_subsumed": p.core_subsumed,
+                    "incremental": p.incremental,
                     "decisions": p.decisions,
                     "conflicts": p.conflicts,
                     "propagations": p.propagations,
@@ -377,12 +398,24 @@ fn main() -> ExitCode {
                 "time_interference_ms": m.t_interference.as_secs_f64() * 1e3,
                 "time_detect_ms": m.t_detect.as_secs_f64() * 1e3,
                 "solver": {
+                    "strategy": strategy.as_str(),
                     "prefiltered": m.detect.prefiltered,
                     "decisions": m.detect.decisions,
                     "conflicts": m.detect.conflicts,
                     "propagations": m.detect.propagations,
                     "learned": m.detect.learned,
                     "theory_lemmas": m.detect.theory_lemmas,
+                    "families": m.detect.families,
+                    "memo_hits": m.detect.memo_hits,
+                    "core_subsumed": m.detect.core_subsumed,
+                    "incremental_queries": m.detect.incremental,
+                    "clauses_retained": m.detect.clauses_retained,
+                    "reuse_rate": if m.detect.queries > 0 {
+                        (m.detect.memo_hits + m.detect.core_subsumed) as f64
+                            / m.detect.queries as f64
+                    } else {
+                        0.0
+                    },
                 },
                 "hot_queries": hot_queries,
                 "hot_functions": hot_functions,
@@ -454,6 +487,24 @@ fn main() -> ExitCode {
                 m.detect.propagations,
                 m.detect.learned,
                 m.detect.theory_lemmas,
+            );
+            let reuse_rate = if m.detect.queries > 0 {
+                100.0 * (m.detect.memo_hits + m.detect.core_subsumed) as f64
+                    / m.detect.queries as f64
+            } else {
+                0.0
+            };
+            println!(
+                "solver reuse [{}]: {} families | {} memo hits, \
+                 {} core-subsumed, {} incremental ({:.1}% cache reuse) | \
+                 {} clauses retained",
+                strategy.as_str(),
+                m.detect.families,
+                m.detect.memo_hits,
+                m.detect.core_subsumed,
+                m.detect.incremental,
+                reuse_rate,
+                m.detect.clauses_retained,
             );
             let hot = m.hottest_queries(TOP_K);
             if !hot.is_empty() {
