@@ -38,3 +38,43 @@ cargo test -q --offline --test solver_strategy_equivalence
 CANARY_SOLVER_STRATEGY=fresh cargo test -q --offline --test solver_strategy_equivalence
 CANARY_SOLVER_STRATEGY=incremental cargo test -q --offline --test solver_strategy_equivalence
 CANARY_TEST_THREADS=2 cargo test -q --offline --test solver_strategy_equivalence
+# Report observability gates: the SARIF export must validate against
+# the (vendored, minimal) 2.1.0 schema. Prefer a real jsonschema
+# validation, fall back to a structural python3 check, then to grep.
+./target/release/canary examples/fig2_variant.cir --format sarif \
+    > /tmp/canary_fig2.sarif || [ $? -eq 1 ]  # exit 1 = bug reported
+if python3 -c 'import jsonschema' 2>/dev/null; then
+    python3 -c '
+import json, jsonschema
+doc = json.load(open("/tmp/canary_fig2.sarif"))
+schema = json.load(open("docs/sarif-2.1.0-minimal.schema.json"))
+jsonschema.validate(doc, schema)'
+elif command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+doc = json.load(open("/tmp/canary_fig2.sarif"))
+assert doc["version"] == "2.1.0"
+run = doc["runs"][0]
+assert run["tool"]["driver"]["name"] == "canary"
+res = run["results"][0]
+assert res["message"]["text"]
+assert res["partialFingerprints"]["canary/v1"]
+assert res["codeFlows"][0]["threadFlows"][0]["locations"]'
+else
+    grep -q '"version": "2.1.0"' /tmp/canary_fig2.sarif
+    grep -q '"threadFlows"' /tmp/canary_fig2.sarif
+    grep -q '"partialFingerprints"' /tmp/canary_fig2.sarif
+fi
+# Two-run baseline smoke: an unchanged corpus must classify every
+# finding as persisting (zero new), so the baseline gate exits 0 even
+# though the run has findings; `canary diff` of a run against itself
+# agrees.
+./target/release/canary examples/fig2_variant.cir \
+    --baseline /tmp/canary_fig2.sarif > /dev/null
+./target/release/canary diff /tmp/canary_fig2.sarif /tmp/canary_fig2.sarif \
+    | grep -q '0 new, 0 fixed'
+# Determinism of every report artifact across worker counts and solver
+# strategies (SARIF, provenance DAG, diff), plus dedup + baseline
+# classification regressions.
+cargo test -q --offline --test report_determinism
+CANARY_TEST_THREADS=2 cargo test -q --offline --test report_determinism

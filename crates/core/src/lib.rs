@@ -174,6 +174,9 @@ pub struct Metrics {
     pub witnesses_checked: usize,
     /// Replays that concretely fired the claimed bug.
     pub witnesses_confirmed: usize,
+    /// Fingerprint-equal findings collapsed before emission (the same
+    /// bug surfacing through several checkers or paths).
+    pub reports_deduped: usize,
     /// Per-function Alg. 1 cost profiles, in commit order.
     pub func_profiles: Vec<FuncProfile>,
     /// Per-SMT-query attribution records, in checker/query order.
@@ -385,6 +388,14 @@ impl Canary {
             phase.record("queries", stats.queries as u64);
             phase.record("confirmed", stats.confirmed as u64);
         }
+        // Collapse fingerprint-equal findings (the same bug surfacing
+        // through several checkers or paths) to their shortest witness
+        // before anything downstream — replay, rendering, export —
+        // sees them. Checkers emit in a fixed order, so the surviving
+        // order is deterministic.
+        let confirmed_raw = reports.len();
+        let reports = canary_detect::dedup_reports(prog, reports);
+        metrics.reports_deduped = confirmed_raw - reports.len();
         canary_trace::log(LogLevel::Summary, || {
             format!(
                 "detect: {} quer(ies), {} report(s) in {:?}",

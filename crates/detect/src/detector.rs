@@ -16,6 +16,9 @@ use canary_vfg::{NodeId, NodeKind};
 
 use crate::constraints;
 use crate::path::{enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
+use crate::provenance::{
+    EscapeFact, MhpFact, ModelSlice, ProvEdge, ProvNode, Provenance,
+};
 use crate::report::{BugKind, BugReport};
 use crate::sync::SyncModel;
 
@@ -394,6 +397,10 @@ fn validate(
     let mut profiles = Vec::with_capacity(outcomes.len());
     for (qi, (cand, o)) in candidates.iter().zip(&outcomes).enumerate() {
         let (bool_atoms, order_atoms) = count_atoms(pool, cand.query);
+        // Cross-link the span with the report the query belongs to:
+        // the fingerprint is the stable join key between trace events
+        // and emitted findings.
+        let fp = cand.report.fingerprint(ctx.prog);
         let p = QueryProfile {
             kind,
             source: cand.report.source,
@@ -438,7 +445,7 @@ fn validate(
             o.started,
             o.wall,
             || {
-                vec![
+                let mut args = vec![
                     ("sat", u64::from(p.sat)),
                     ("prefiltered", u64::from(p.prefiltered)),
                     ("path_len", p.path_len),
@@ -452,7 +459,11 @@ fn validate(
                     ("memo_hit", u64::from(p.memo_hit)),
                     ("core_subsumed", u64::from(p.core_subsumed)),
                     ("incremental", u64::from(p.incremental)),
-                ]
+                ];
+                if p.sat {
+                    args.push(("report_fp", fp.0));
+                }
+                args
             },
         );
         profiles.push(p);
@@ -497,19 +508,30 @@ fn validate(
         // the fork/join sites the oracle needs to replay it, plus the
         // model's branch directions.
         if let Some(w) = canary_smt::check_witness_model(pool, cand.query, &solver_stats) {
-            cand.report.guards = w
+            let guards: Vec<(canary_ir::CondId, bool)> = w
                 .bools
                 .iter()
                 .map(|&(i, v)| (canary_ir::CondId(i), v))
                 .collect();
+            let order: Vec<(Label, Label)> =
+                w.orders.iter().map(|&(a, b)| (Label(a), Label(b))).collect();
             let witness: Vec<Label> = w.events.into_iter().map(Label).collect();
-            cand.report.schedule = crate::schedule::complete_schedule(
+            let schedule = crate::schedule::complete_schedule(
                 ctx.prog,
                 ctx.mhp.order_graph(),
                 &witness,
                 cand.report.source,
                 cand.report.sink,
             );
+            if let Some(prov) = cand.report.provenance.as_mut() {
+                prov.model = Some(ModelSlice {
+                    guards: guards.clone(),
+                    order,
+                    schedule: schedule.clone(),
+                });
+            }
+            cand.report.guards = guards;
+            cand.report.schedule = schedule;
         }
         out.push(cand.report);
     }
@@ -752,6 +774,7 @@ fn finish_candidate(
         .iter()
         .map(|&n| ctx.df.vfg.render_node(ctx.prog, n))
         .collect();
+    let provenance = build_provenance(ctx, pool, p);
     Some(Candidate {
         query,
         path_len: p.nodes.len() as u64,
@@ -765,8 +788,68 @@ fn finish_candidate(
             constraint: pool.render(query),
             schedule: Vec::new(),
             guards: Vec::new(),
+            provenance: Some(provenance),
         },
     })
+}
+
+/// Builds the evidence DAG for one enumerated path: every traversed
+/// VFG edge with its guard conjunct, the escape fact licensing each
+/// cross-thread edge (Defn. 1), and the MHP facts consulted for those
+/// pairs. The model slice stays empty until SMT validation succeeds.
+fn build_provenance(ctx: &DetectContext<'_>, pool: &TermPool, p: &VfPath) -> Provenance {
+    let nodes: Vec<ProvNode> = p
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let object = match ctx.df.vfg.kind(n) {
+                NodeKind::Object { obj, .. } => Some(ctx.prog.obj_name(obj).to_string()),
+                _ => None,
+            };
+            ProvNode {
+                id: i,
+                label: ctx.df.vfg.kind(n).label(),
+                render: ctx.df.vfg.render_node(ctx.prog, n),
+                object,
+            }
+        })
+        .collect();
+    let mut edges = Vec::with_capacity(p.kinds.len());
+    let mut mhp = Vec::new();
+    for i in 0..p.kinds.len() {
+        let (from, to) = (p.nodes[i], p.nodes[i + 1]);
+        let kind = p.kinds[i];
+        let escape = ctx.df.vfg.license_of(from, to, kind).map(|o| EscapeFact {
+            obj: ctx.prog.obj_name(o).to_string(),
+            alloc_site: ctx.prog.objs[o.index()].alloc_site,
+        });
+        if escape.is_some() {
+            // Licensed edges are exactly the store/load pairs whose
+            // MHP facts Alg. 2 consulted before committing the edge.
+            let store = ctx.df.vfg.kind(from).label();
+            let load = ctx.df.vfg.kind(to).label();
+            mhp.push(MhpFact {
+                store,
+                load,
+                parallel: ctx.mhp.may_happen_in_parallel(store, load),
+                ordered: ctx.mhp.order_graph().program_order(store, load),
+            });
+        }
+        edges.push(ProvEdge {
+            from: i,
+            to: i + 1,
+            kind,
+            guard: pool.render(p.guards[i]),
+            escape,
+        });
+    }
+    Provenance {
+        nodes,
+        edges,
+        mhp,
+        model: None,
+    }
 }
 
 /// The program-order retention policy for a memory model: which

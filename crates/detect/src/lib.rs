@@ -24,6 +24,7 @@
 pub mod constraints;
 pub mod detector;
 pub mod path;
+pub mod provenance;
 pub mod report;
 pub mod schedule;
 pub mod sync;
@@ -33,7 +34,10 @@ pub use detector::{
     DetectOptions, DetectStats, MemoryModel, QueryProfile, RefutedCandidate,
 };
 pub use path::{enumerate_paths, enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
-pub use report::{BugKind, BugReport};
+pub use provenance::{
+    edge_kind_name, EscapeFact, Fingerprint, MhpFact, ModelSlice, ProvEdge, ProvNode, Provenance,
+};
+pub use report::{dedup_reports, BugKind, BugReport};
 pub use schedule::complete_schedule;
 pub use sync::{LockRegion, SyncModel};
 
@@ -292,6 +296,61 @@ mod tests {
             BugKind::UseAfterFree,
         );
         assert_eq!(reports.len(), 1, "{reports:?}");
+    }
+
+    #[test]
+    fn inter_thread_report_carries_full_provenance() {
+        let src = r#"
+            fn main(a) {
+                x = alloc o1;
+                *x = a;
+                fork t thread1(x);
+                c = *x;
+                use c;
+            }
+            fn thread1(y) {
+                b = alloc o2;
+                *y = b;
+                free b;
+            }
+        "#;
+        let reports = detect(src, BugKind::UseAfterFree);
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        let prov = reports[0].provenance.as_ref().expect("provenance captured");
+        assert_eq!(prov.nodes.len(), reports[0].path.len());
+        assert_eq!(prov.edges.len(), prov.nodes.len() - 1);
+        // The cross-thread step must be licensed by an escape fact and
+        // have its MHP consultation recorded.
+        let licensed: Vec<_> = prov.edges.iter().filter(|e| e.escape.is_some()).collect();
+        assert!(!licensed.is_empty(), "{prov:?}");
+        assert!(licensed
+            .iter()
+            .all(|e| e.escape.as_ref().unwrap().alloc_site.is_some()));
+        assert_eq!(prov.mhp.len(), licensed.len());
+        assert!(prov.mhp.iter().any(|m| m.parallel));
+        // The confirmed finding carries the satisfying model slice,
+        // consistent with the report's own schedule and guards.
+        let model = prov.model.as_ref().expect("sat candidate has a model slice");
+        assert_eq!(model.schedule, reports[0].schedule);
+        assert_eq!(model.guards, reports[0].guards);
+        assert!(!model.order.is_empty());
+        // Exports don't panic and mention the licensed object.
+        let dot = prov.to_dot("uaf");
+        assert!(dot.contains("via escaped"));
+        let json = serde_json::to_string(&prov.to_json()).unwrap();
+        assert!(json.contains("\"escape\""));
+    }
+
+    #[test]
+    fn sequential_report_provenance_has_no_licensed_edges() {
+        let reports = detect(
+            "fn main() { p = alloc o; free p; use p; }",
+            BugKind::UseAfterFree,
+        );
+        let prov = reports[0].provenance.as_ref().unwrap();
+        assert!(prov.edges.iter().all(|e| e.escape.is_none()));
+        assert!(prov.mhp.is_empty());
+        assert!(prov.model.is_some());
     }
 
     #[test]

@@ -19,6 +19,9 @@ pub struct VfPath {
     pub nodes: Vec<NodeId>,
     /// Guards of the traversed edges, in order.
     pub guards: Vec<TermId>,
+    /// Kinds of the traversed edges, in order (`guards[i]` and
+    /// `kinds[i]` describe the edge `nodes[i] → nodes[i+1]`).
+    pub kinds: Vec<EdgeKind>,
     /// Whether any traversed edge is an interference edge.
     pub has_interference: bool,
 }
@@ -137,6 +140,7 @@ fn dfs(
         out.push(VfPath {
             nodes: nodes.clone(),
             guards: guards.clone(),
+            kinds: kinds.clone(),
             has_interference: kinds.contains(&EdgeKind::Interference),
         });
         // A sink can also be an intermediate node; keep exploring.

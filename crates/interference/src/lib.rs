@@ -163,6 +163,9 @@ struct PendingEdge {
     dst_var: VarId,
     dst_label: Label,
     guard: TermId,
+    /// The escaped object whose `Pted` set produced the pair (Defn. 1);
+    /// recorded on the VFG edge for report provenance.
+    license: ObjId,
 }
 
 impl InterferenceAnalysis<'_> {
@@ -372,7 +375,7 @@ impl InterferenceAnalysis<'_> {
                 let guard = remap.remap(e.guard);
                 let sn = df.vfg.def_node(e.src_var, e.src_label);
                 let ln = df.vfg.def_node(e.dst_var, e.dst_label);
-                if df.vfg.add_edge(sn, ln, e.kind, guard) {
+                if df.vfg.add_edge_licensed(sn, ln, e.kind, guard, e.license) {
                     match e.kind {
                         EdgeKind::Interference => self.interference_edges += 1,
                         _ => self.refreshed_data_edges += 1,
@@ -444,6 +447,7 @@ fn check_load(
                     dst_var: load.dst,
                     dst_label: load.label,
                     guard,
+                    license: *o,
                 });
             } else if mhp.order_graph().happens_before(s.label, load.label) {
                 // Alg. 2 line 9: refresh same-thread data dependence
@@ -457,6 +461,7 @@ fn check_load(
                     dst_var: load.dst,
                     dst_label: load.label,
                     guard,
+                    license: *o,
                 });
             }
         }
@@ -607,6 +612,25 @@ mod tests {
             "store *y=b must interfere with load c=*x"
         );
         assert!(s.df.vfg.interference_edge_count() >= 1);
+    }
+
+    #[test]
+    fn fig2_interference_edge_is_licensed_by_escaped_object() {
+        let s = analyze(FIG2);
+        let o1 = s.prog.obj_by_name("o1").unwrap();
+        let edge = s
+            .df
+            .vfg
+            .edges()
+            .iter()
+            .find(|e| e.kind == EdgeKind::Interference)
+            .copied()
+            .expect("one interference edge");
+        assert_eq!(
+            s.df.vfg.license_of(edge.from, edge.to, edge.kind),
+            Some(o1),
+            "the store/load pair meets in o1, which must license the edge"
+        );
     }
 
     #[test]

@@ -384,6 +384,13 @@ pub struct WitnessModel {
     /// The model's Boolean-atom assignment as sorted
     /// `(atom index, value)` pairs.
     pub bools: Vec<(u32, bool)>,
+    /// The model *slice* over the order theory: the oriented order
+    /// atoms `(a, b)` (meaning `O_a < O_b`) the model committed to,
+    /// sorted and deduplicated. This is exactly the evidence the
+    /// topological order in [`WitnessModel::events`] was built from —
+    /// report provenance records it as the SMT justification of the
+    /// witness interleaving.
+    pub orders: Vec<(crate::term::EventId, crate::term::EventId)>,
 }
 
 /// A satisfying witness: the events of the query arranged in one
@@ -426,9 +433,14 @@ pub fn check_witness_model(
                     .collect();
                 match check_orders(&edges) {
                     TheoryResult::Consistent => {
+                        let mut orders: Vec<(u32, u32)> =
+                            oriented.iter().map(|&(a, b, _)| (a, b)).collect();
+                        orders.sort_unstable();
+                        orders.dedup();
                         return Some(WitnessModel {
                             events: topological_events(&oriented),
                             bools: enc.bool_assignment(&model),
+                            orders,
                         });
                     }
                     TheoryResult::Conflict(vars) => {

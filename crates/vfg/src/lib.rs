@@ -110,6 +110,11 @@ pub struct Vfg {
     /// Deduplication of (from, to, kind) — re-adding strengthens nothing
     /// (the first guard wins; Alg. 2 only ever adds each edge once).
     edge_dedup: HashMap<(NodeId, NodeId, EdgeKind), u32>,
+    /// Edge index → the escaped object whose `Pted` set licensed the
+    /// edge (Alg. 2: the object the store and load addresses meet in).
+    /// Populated for interference and line-9 refresh edges only; the
+    /// report provenance layer reads it back via [`Vfg::license_of`].
+    licenses: HashMap<u32, ObjId>,
 }
 
 impl Vfg {
@@ -167,6 +172,33 @@ impl Vfg {
         self.preds[to.index()].push(idx);
         self.edge_dedup.insert((from, to, kind), idx);
         true
+    }
+
+    /// [`add_edge`](Self::add_edge) that additionally records the
+    /// escaped object licensing the edge (Defn. 1: the object both the
+    /// store and the load address point to). Returns `true` if the edge
+    /// is new; the first license wins, like the first guard.
+    pub fn add_edge_licensed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: EdgeKind,
+        guard: TermId,
+        license: ObjId,
+    ) -> bool {
+        if !self.add_edge(from, to, kind, guard) {
+            return false;
+        }
+        let idx = self.edge_dedup[&(from, to, kind)];
+        self.licenses.insert(idx, license);
+        true
+    }
+
+    /// The escaped object that licensed an edge, when one was recorded
+    /// at insertion (interference and refreshed data-dependence edges).
+    pub fn license_of(&self, from: NodeId, to: NodeId, kind: EdgeKind) -> Option<ObjId> {
+        let idx = self.edge_dedup.get(&(from, to, kind))?;
+        self.licenses.get(idx).copied()
     }
 
     /// The kind of a node.
@@ -294,6 +326,7 @@ impl Vfg {
         self.nodes.len() * (size_of::<NodeKind>() + size_of::<(NodeKind, NodeId)>())
             + self.edges.len() * (size_of::<Edge>() + 2 * size_of::<u32>())
             + self.edge_dedup.len() * size_of::<((NodeId, NodeId, EdgeKind), u32)>()
+            + self.licenses.len() * size_of::<(u32, ObjId)>()
     }
 
     /// Renders a node for diagnostics/bug reports.
@@ -391,6 +424,24 @@ mod tests {
         let gc = reach.iter().find(|(n, _)| *n == c).unwrap().1;
         let expect = pool.and2(t1, t2);
         assert_eq!(gc, expect);
+    }
+
+    #[test]
+    fn edge_licenses_are_recorded_first_wins() {
+        let mut g = Vfg::new();
+        let pool = TermPool::new();
+        let a = g.node(def(0, 0));
+        let b = g.node(def(1, 1));
+        let o = ObjId::new(3);
+        let o2 = ObjId::new(4);
+        assert!(g.add_edge_licensed(a, b, EdgeKind::Interference, pool.tt(), o));
+        // Re-adding neither duplicates the edge nor rewrites the license.
+        assert!(!g.add_edge_licensed(a, b, EdgeKind::Interference, pool.tt(), o2));
+        assert_eq!(g.license_of(a, b, EdgeKind::Interference), Some(o));
+        // Plain edges carry no license.
+        g.add_edge(b, a, EdgeKind::Direct, pool.tt());
+        assert_eq!(g.license_of(b, a, EdgeKind::Direct), None);
+        assert_eq!(g.license_of(a, b, EdgeKind::Direct), None);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Triage workflow: everything Canary gives you to *dispose* of a
-//! finding — confirmed reports with witness interleavings, refuted
-//! candidates with minimal unsat cores, and a memory-model sweep that
-//! shows which findings only exist under weaker hardware orderings.
+//! finding — confirmed reports with witness interleavings and their
+//! provenance DAGs, stable fingerprints with run-to-run diffing
+//! (new / persisting / fixed), refuted candidates with minimal unsat
+//! cores, and a memory-model sweep that shows which findings only
+//! exist under weaker hardware orderings.
 //!
 //! ```sh
 //! cargo run --example triage
@@ -9,6 +11,7 @@
 
 use canary::{Canary, CanaryConfig};
 use canary_detect::{BugKind, DetectOptions, MemoryModel};
+use canary_report::{diff_sarif, sarif_document, RunManifest};
 
 /// One shared cell, three outcomes: a real race, an order-protected
 /// free, and a guard-protected free.
@@ -51,12 +54,61 @@ fn main() {
     println!("== confirmed ({} report) ==", outcome.reports.len());
     println!("{}\n", outcome.render(&prog));
     assert_eq!(outcome.reports.len(), 1);
+    let report = &outcome.reports[0];
     assert!(
-        !outcome.reports[0].schedule.is_empty(),
+        !report.schedule.is_empty(),
         "confirmed reports carry a witness interleaving"
     );
 
-    println!("== refuted ({} candidates) ==", outcome.refuted.len());
+    // Every confirmed report explains itself: the value-flow chain,
+    // the escaped object licensing each interference edge, the MHP
+    // facts consulted, and the satisfying model slice — as a DAG.
+    println!("== provenance (fingerprint {}) ==", report.fingerprint(&prog));
+    let provenance = report.provenance.as_ref().expect("reports carry provenance");
+    for edge in &provenance.edges {
+        let via = match &edge.escape {
+            Some(esc) => format!("  [licensed by escaped `{}`]", esc.obj),
+            None => String::new(),
+        };
+        println!(
+            "  {} -[{}]-> {}{via}",
+            provenance.nodes[edge.from].render,
+            canary_detect::edge_kind_name(edge.kind),
+            provenance.nodes[edge.to].render,
+        );
+    }
+    println!("  DOT snippet (pipe the full graph into `dot -Tsvg`):");
+    let dot = provenance.to_dot("use-after-free");
+    for line in dot.lines().filter(|l| l.contains("->")).take(4) {
+        println!("    {}", line.trim());
+    }
+
+    // Fingerprint-keyed diffing: fix bug (1) by joining the reader
+    // before the free, re-run, and classify the change. The fix shows
+    // up as `fixed`; nothing is `new`.
+    let fixed_src = MIXED.replace(
+        "fork reader consume(cell);\n        free v1;",
+        "fork reader consume(cell);\n        join reader;\n        free v1;",
+    );
+    let fixed_prog = canary::ir::parse(&fixed_src).expect("fixed example parses");
+    let fixed_outcome = canary.analyze(&fixed_prog);
+    let manifest = |hash: &str| RunManifest {
+        file: "triage.cir".into(),
+        corpus_hash: hash.into(),
+        strategy: "incremental".into(),
+        threads: 1,
+        config: vec![],
+        timings_ms: vec![],
+    };
+    let before = sarif_document(&prog, &outcome.reports, &manifest("before"));
+    let after = sarif_document(&fixed_prog, &fixed_outcome.reports, &manifest("after"));
+    let diff = diff_sarif(&before, &after).expect("well-formed SARIF");
+    println!("\n== run diff (before-fix baseline vs after-fix) ==");
+    print!("{}", diff.render());
+    assert_eq!(diff.fixed.len(), 1, "the joined free is fixed");
+    assert!(!diff.has_new(), "the fix introduces nothing new");
+
+    println!("\n== refuted ({} candidates) ==", outcome.refuted.len());
     for r in &outcome.refuted {
         println!(
             "  {} -> {}\n    why not: {}",

@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! canary <program.cir> [options]
+//! canary diff <baseline.sarif> <current.sarif>
 //!
 //! options:
 //!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak
 //!                         (default: all four)
 //!   --inter-thread-only   report only witnesses spanning threads
-//!   --json                machine-readable output
+//!   --format FMT          stdout format: text (default), json or sarif
+//!   --json                shorthand for --format json
+//!   --json-out FILE       also write the JSON document to FILE
+//!   --sarif-out FILE      also write the SARIF 2.1.0 document to FILE
+//!   --baseline FILE       classify findings against a baseline SARIF
+//!                         run as new / persisting / fixed; the exit
+//!                         code then reflects *new* findings only
 //!   --no-mhp              disable may-happen-in-parallel pruning
 //!   --no-sync             disable lock/wait constraint generation
 //!   --no-prefilter        disable the semi-decision prefilter
@@ -36,6 +43,10 @@
 //!                         the hottest queries/functions
 //! ```
 //!
+//! The `diff` subcommand compares two SARIF files by their stable
+//! `canary/v1` fingerprints and exits 0 (no new findings), 1 (new
+//! findings) or 2 (error).
+//!
 //! The `CANARY_LOG` environment variable (`summary` or `debug`) turns
 //! on human-readable progress lines on stderr; stdout stays reserved
 //! for results.
@@ -59,14 +70,25 @@ const TOP_K: usize = 5;
 fn usage() -> ! {
     eprintln!(
         "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
-         [--inter-thread-only] [--json] [--no-mhp] [--no-sync] [--no-prefilter] \
+         [--inter-thread-only] [--format text|json|sarif] [--json] \
+         [--json-out FILE] [--sarif-out FILE] [--baseline FILE] \
+         [--no-mhp] [--no-sync] [--no-prefilter] \
          [--memory-model sc|tso|pso] [--threads N] [--solver-threads N] \
          [--solver-strategy fresh|incremental] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
          [--tool canary|saber|fsam] [--explain] [--verify-witnesses] \
-         [--trace-out FILE] [--stats]"
+         [--trace-out FILE] [--stats]\n\
+         \x20      canary diff <baseline.sarif> <current.sarif>"
     );
     std::process::exit(2);
+}
+
+/// What the main stdout stream carries.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+    Sarif,
 }
 
 enum Tool {
@@ -78,19 +100,25 @@ enum Tool {
 struct Cli {
     file: String,
     config: CanaryConfig,
-    json: bool,
+    format: OutputFormat,
     stats: bool,
     tool: Tool,
     trace_out: Option<String>,
+    json_out: Option<String>,
+    sarif_out: Option<String>,
+    baseline: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Cli {
     let mut file: Option<String> = None;
     let mut config = CanaryConfig::default();
-    let mut json = false;
+    let mut format = OutputFormat::Text;
     let mut stats = false;
     let mut tool = Tool::Canary;
     let mut trace_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut sarif_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -114,7 +142,35 @@ fn parse_args(args: &[String]) -> Cli {
             "--inter-thread-only" => config.detect.inter_thread_only = true,
             "--explain" => config.detect.explain_refutations = true,
             "--verify-witnesses" => config.verify_witnesses = true,
-            "--json" => json = true,
+            "--json" => format = OutputFormat::Json,
+            "--format" => {
+                i += 1;
+                let Some(f) = args.get(i) else { usage() };
+                format = match f.as_str() {
+                    "text" => OutputFormat::Text,
+                    "json" => OutputFormat::Json,
+                    "sarif" => OutputFormat::Sarif,
+                    other => {
+                        eprintln!("unknown format `{other}` (text|json|sarif)");
+                        usage()
+                    }
+                };
+            }
+            "--json-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                json_out = Some(path.clone());
+            }
+            "--sarif-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                sarif_out = Some(path.clone());
+            }
+            "--baseline" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                baseline = Some(path.clone());
+            }
             "--stats" => stats = true,
             "--no-mhp" => {
                 config.interference = InterferenceOptions {
@@ -237,10 +293,62 @@ fn parse_args(args: &[String]) -> Cli {
     Cli {
         file,
         config,
-        json,
+        format,
         stats,
         tool,
         trace_out,
+        json_out,
+        sarif_out,
+        baseline,
+    }
+}
+
+/// Writes an output artifact, reporting unwritable paths as a clean
+/// CLI error (exit 2) instead of a panic.
+fn write_output(path: &str, content: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, content).map_err(|e| {
+        eprintln!("canary: cannot write {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+/// Reads and parses a SARIF file.
+fn read_sarif(path: &str) -> Result<serde_json::Value, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("canary: cannot read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    serde_json::from_str(&text).map_err(|e| {
+        eprintln!("canary: {path}: not valid JSON: {e:?}");
+        ExitCode::from(2)
+    })
+}
+
+/// The `canary diff <baseline.sarif> <current.sarif>` subcommand:
+/// exits 0 when the current run adds no findings over the baseline,
+/// 1 when it does, 2 on any error.
+fn run_diff(args: &[String]) -> ExitCode {
+    let [base_path, cur_path] = args else {
+        eprintln!("usage: canary diff <baseline.sarif> <current.sarif>");
+        return ExitCode::from(2);
+    };
+    let (base, cur) = match (read_sarif(base_path), read_sarif(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    match canary_report::diff_sarif(&base, &cur) {
+        Ok(diff) => {
+            print!("{}", diff.render());
+            if diff.has_new() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("canary: diff: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -277,6 +385,9 @@ fn run_baseline(prog: &canary_ir::Program, tool: &Tool) -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("diff") {
+        return run_diff(&args[1..]);
+    }
     let cli = parse_args(&args);
     let src = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
@@ -305,15 +416,146 @@ fn main() -> ExitCode {
         canary_trace::Tracer::disabled()
     };
     let strategy = cli.config.detect.solver.strategy;
-    let outcome = Canary::with_config(cli.config).analyze_traced(&prog, &tracer);
+    let outcome = Canary::with_config(cli.config.clone()).analyze_traced(&prog, &tracer);
     if let Some(path) = &cli.trace_out {
-        if let Err(e) = std::fs::write(path, tracer.export_chrome()) {
-            eprintln!("canary: cannot write {path}: {e}");
-            return ExitCode::from(2);
+        if let Err(e) = write_output(path, &tracer.export_chrome()) {
+            return e;
         }
     }
     let prog = outcome.analyzed_program.as_ref().unwrap_or(&prog);
-    if cli.json {
+    let manifest = run_manifest(&cli, &src, &cli.config, strategy.as_str(), &outcome.metrics);
+    let needs_sarif = cli.sarif_out.is_some()
+        || cli.baseline.is_some()
+        || cli.format == OutputFormat::Sarif;
+    let sarif_doc = needs_sarif
+        .then(|| canary_report::sarif_document(prog, &outcome.reports, &manifest));
+    if let (Some(path), Some(doc)) = (&cli.sarif_out, &sarif_doc) {
+        let text = serde_json::to_string_pretty(doc).expect("valid json");
+        if let Err(e) = write_output(path, &text) {
+            return e;
+        }
+    }
+    if let Some(path) = &cli.json_out {
+        let doc = json_document(&cli, prog, &outcome, strategy.as_str());
+        let text = serde_json::to_string_pretty(&doc).expect("valid json");
+        if let Err(e) = write_output(path, &text) {
+            return e;
+        }
+    }
+    if cli.format == OutputFormat::Sarif {
+        let doc = sarif_doc.as_ref().expect("built above");
+        println!("{}", serde_json::to_string_pretty(doc).expect("valid json"));
+    } else if cli.format == OutputFormat::Json {
+        let doc = json_document(&cli, prog, &outcome, strategy.as_str());
+        println!("{}", serde_json::to_string_pretty(&doc).expect("valid json"));
+    } else {
+        print_text_output(&cli, prog, &outcome, strategy.as_str());
+    }
+    if let Some(path) = &cli.baseline {
+        let base = match read_sarif(path) {
+            Ok(b) => b,
+            Err(e) => return e,
+        };
+        let cur = sarif_doc.as_ref().expect("built above");
+        return match canary_report::diff_sarif(&base, cur) {
+            Ok(diff) => {
+                // In json/sarif modes stdout carries a document; keep
+                // the classification on stderr there.
+                if cli.format == OutputFormat::Text {
+                    print!("{}", diff.render());
+                } else {
+                    eprint!("{}", diff.render());
+                }
+                if diff.has_new() {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("canary: baseline: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if outcome.reports.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The run manifest recorded in the SARIF invocation block: the full
+/// configuration (sorted knobs), the corpus hash, and the phase wall
+/// times (nondeterministic; quarantined under `properties.timings`).
+fn run_manifest(
+    cli: &Cli,
+    src: &str,
+    config: &CanaryConfig,
+    strategy: &str,
+    m: &canary_core::Metrics,
+) -> canary_report::RunManifest {
+    let checkers: Vec<String> = config.checkers.iter().map(|k| k.to_string()).collect();
+    let memory_model = match config.detect.memory_model {
+        MemoryModel::Sc => "sc",
+        MemoryModel::Tso => "tso",
+        MemoryModel::Pso => "pso",
+    };
+    canary_report::RunManifest {
+        file: cli.file.clone(),
+        corpus_hash: canary_report::content_hash(src.as_bytes()),
+        strategy: strategy.to_string(),
+        threads: config.threads,
+        config: vec![
+            ("checkers".into(), checkers.join(",")),
+            ("context_depth".into(), config.context_depth.to_string()),
+            (
+                "inter_thread_only".into(),
+                config.detect.inter_thread_only.to_string(),
+            ),
+            ("loop_unroll".into(), config.parse.loop_unroll.to_string()),
+            ("memory_model".into(), memory_model.to_string()),
+            (
+                "prefilter".into(),
+                config.detect.solver.prefilter.to_string(),
+            ),
+            (
+                "solver_threads".into(),
+                config.detect.solver.num_threads.to_string(),
+            ),
+            (
+                "sync_constraints".into(),
+                config.detect.sync_constraints.to_string(),
+            ),
+            (
+                "use_mhp".into(),
+                config.interference.use_mhp.to_string(),
+            ),
+            (
+                "verify_witnesses".into(),
+                config.verify_witnesses.to_string(),
+            ),
+        ],
+        timings_ms: vec![
+            ("dataflow".into(), m.t_dataflow.as_secs_f64() * 1e3),
+            (
+                "interference".into(),
+                m.t_interference.as_secs_f64() * 1e3,
+            ),
+            ("detect".into(), m.t_detect.as_secs_f64() * 1e3),
+        ],
+    }
+}
+
+/// Builds the versioned `--json` document (see `docs/report_schema.md`
+/// for the schema; `schema_version` gates consumers).
+fn json_document(
+    cli: &Cli,
+    prog: &canary_ir::Program,
+    outcome: &canary_core::AnalysisOutcome,
+    strategy: &str,
+) -> serde_json::Value {
+    {
         let reports: Vec<serde_json::Value> = outcome
             .reports
             .iter()
@@ -324,6 +566,10 @@ fn main() -> ExitCode {
                         .witness_replays
                         .get(i)
                         .map(|replay| replay.confirmed()),
+                    "fingerprint": r.fingerprint(prog).to_string(),
+                    "provenance": r.provenance.as_ref()
+                        .map(|p| p.to_json())
+                        .unwrap_or(serde_json::Value::Null),
                     "kind": r.kind.to_string(),
                     "source": { "label": r.source.0,
                                  "stmt": canary_ir::render_inst(prog, r.source),
@@ -380,6 +626,7 @@ fn main() -> ExitCode {
             })
             .collect();
         let doc = serde_json::json!({
+            "schema_version": 1,
             "file": cli.file,
             "reports": reports,
             "metrics": {
@@ -390,6 +637,7 @@ fn main() -> ExitCode {
                 "interference_edges": m.interference_edges,
                 "escaped_objects": m.escaped_objects,
                 "candidate_paths": m.detect.candidate_paths,
+                "reports_deduped": m.reports_deduped,
                 "smt_queries": m.detect.queries,
                 "worker_threads": m.worker_threads,
                 "dataflow_tasks": m.dataflow_phase.tasks,
@@ -398,7 +646,7 @@ fn main() -> ExitCode {
                 "time_interference_ms": m.t_interference.as_secs_f64() * 1e3,
                 "time_detect_ms": m.t_detect.as_secs_f64() * 1e3,
                 "solver": {
-                    "strategy": strategy.as_str(),
+                    "strategy": strategy,
                     "prefiltered": m.detect.prefiltered,
                     "decisions": m.detect.decisions,
                     "conflicts": m.detect.conflicts,
@@ -421,8 +669,20 @@ fn main() -> ExitCode {
                 "hot_functions": hot_functions,
             },
         });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("valid json"));
-    } else {
+        doc
+    }
+}
+
+/// Renders the human-readable text report: findings (or the no-bugs
+/// line), witness verification, refutation cores and the `--stats`
+/// tables.
+fn print_text_output(
+    cli: &Cli,
+    prog: &canary_ir::Program,
+    outcome: &canary_core::AnalysisOutcome,
+    strategy: &str,
+) {
+    {
         if outcome.reports.is_empty() {
             println!("canary: no bugs found in {}", cli.file);
         } else {
@@ -498,7 +758,7 @@ fn main() -> ExitCode {
                 "solver reuse [{}]: {} families | {} memo hits, \
                  {} core-subsumed, {} incremental ({:.1}% cache reuse) | \
                  {} clauses retained",
-                strategy.as_str(),
+                strategy,
                 m.detect.families,
                 m.detect.memo_hits,
                 m.detect.core_subsumed,
@@ -553,10 +813,5 @@ fn main() -> ExitCode {
                 }
             }
         }
-    }
-    if outcome.reports.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
     }
 }

@@ -131,6 +131,119 @@ fn unknown_flag_is_usage_error() {
 }
 
 #[test]
+fn json_document_is_versioned_and_fingerprinted() {
+    let path = write_temp("racy_schema.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(doc["schema_version"], 1, "consumers gate on schema_version");
+    let fp = doc["reports"][0]["fingerprint"].as_str().unwrap();
+    assert_eq!(fp.len(), 16, "16 hex digits: {fp}");
+    assert!(fp.chars().all(|c| c.is_ascii_hexdigit()), "{fp}");
+    let prov = &doc["reports"][0]["provenance"];
+    assert!(!prov["nodes"].as_array().unwrap().is_empty(), "{prov:?}");
+}
+
+#[test]
+fn sarif_format_and_sarif_out_agree() {
+    let path = write_temp("racy_sarif.cir", RACY);
+    let out_path = std::env::temp_dir().join("canary-cli-tests/racy.sarif");
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--format", "sarif", "--sarif-out"])
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "findings still gate the exit code");
+    let stdout: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let written: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+    assert_eq!(stdout, written, "--sarif-out mirrors --format sarif");
+    assert_eq!(stdout["version"], "2.1.0");
+    assert_eq!(
+        stdout["runs"][0]["results"][0]["ruleId"],
+        "canary/use-after-free"
+    );
+}
+
+#[test]
+fn unwritable_output_paths_exit_two_cleanly() {
+    let path = write_temp("racy_unwritable.cir", RACY);
+    for flag in ["--sarif-out", "--json-out", "--trace-out"] {
+        let out = canary_bin()
+            .arg(&path)
+            .args([flag, "/nonexistent-dir/out.file"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "{flag} must exit 2");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("cannot write"),
+            "{flag} must explain the failure: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{flag} must not panic: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn diff_subcommand_validates_its_inputs() {
+    // Wrong arity.
+    let out = canary_bin().arg("diff").arg("only-one.sarif").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing files.
+    let out = canary_bin()
+        .args(["diff", "/nonexistent/a.sarif", "/nonexistent/b.sarif"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Not a SARIF log.
+    let junk = write_temp("junk.sarif", "{\"hello\": 1}");
+    let out = canary_bin()
+        .arg("diff")
+        .arg(&junk)
+        .arg(&junk)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("runs"), "{stderr}");
+}
+
+#[test]
+fn baseline_flag_gates_exit_on_new_findings_only() {
+    let racy = write_temp("racy_base.cir", RACY);
+    let clean = write_temp("clean_base.cir", CLEAN);
+    let base = std::env::temp_dir().join("canary-cli-tests/racy_base.sarif");
+    canary_bin()
+        .arg(&racy)
+        .args(["--sarif-out"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    // Same corpus: the finding persists, no new ones -> exit 0 even
+    // though the run itself has findings.
+    let out = canary_bin()
+        .arg(&racy)
+        .args(["--baseline"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    // Fixed corpus against the racy baseline: the finding is fixed.
+    let out = canary_bin()
+        .arg(&clean)
+        .args(["--baseline"])
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("1 fixed"), "{stdout}");
+}
+
+#[test]
 fn unroll_flag_changes_bounding() {
     let src = "fn main() { p = alloc o; while (c) { use p; } free p; }";
     let path = write_temp("loop.cir", src);

@@ -4,18 +4,23 @@
 
 use canary::{Canary, CanaryConfig};
 use canary_detect::{BugKind, DetectOptions};
+use canary_smt::SolverStrategy;
 
-fn analyze(src: &str) -> canary::AnalysisOutcome {
-    Canary::with_config(CanaryConfig {
+fn analyze_with_strategy(src: &str, strategy: SolverStrategy) -> canary::AnalysisOutcome {
+    let mut config = CanaryConfig {
         checkers: vec![BugKind::UseAfterFree],
         detect: DetectOptions {
             explain_refutations: true,
             ..DetectOptions::default()
         },
         ..CanaryConfig::default()
-    })
-    .analyze_source(src)
-    .expect("parses")
+    };
+    config.detect.solver.strategy = strategy;
+    Canary::with_config(config).analyze_source(src).expect("parses")
+}
+
+fn analyze(src: &str) -> canary::AnalysisOutcome {
+    analyze_with_strategy(src, SolverStrategy::from_env())
 }
 
 #[test]
@@ -95,6 +100,53 @@ fn confirmed_bugs_are_not_listed_as_refuted() {
             .all(|r| (r.source, r.sink) != (outcome.reports[0].source, outcome.reports[0].sink)),
         "a confirmed pair must not also be refuted"
     );
+}
+
+/// The program whose refutation only falls to the solver (so the core
+/// comes from deletion minimization, not the construction-time fold).
+const SOLVER_REFUTED: &str = "fn main() {
+     cell = alloc c;
+     v = alloc o;
+     *cell = v;
+     free v;
+     g = alloc o2;
+     *cell = g;
+     fork t w(cell);
+ }
+ fn w(s) { x = *s; use x; }";
+
+#[test]
+fn incremental_strategy_cores_match_fresh() {
+    // `--explain` under `--solver-strategy incremental` must produce
+    // the same deletion-minimal cores as a fresh solver per query:
+    // core extraction always re-solves the minimized subset, so shared
+    // family state cannot leak into the explanation.
+    let fresh = analyze_with_strategy(SOLVER_REFUTED, SolverStrategy::Fresh);
+    let incr = analyze_with_strategy(SOLVER_REFUTED, SolverStrategy::Incremental);
+    assert!(!fresh.refuted.is_empty(), "refuted candidate expected");
+    assert_eq!(fresh.refuted.len(), incr.refuted.len());
+    for (f, i) in fresh.refuted.iter().zip(&incr.refuted) {
+        assert_eq!((f.source, f.sink, f.kind), (i.source, i.sink, i.kind));
+        assert_eq!(f.core, i.core, "cores diverge between strategies");
+    }
+}
+
+#[test]
+fn incremental_cores_are_deletion_minimal() {
+    // Dropping any single member of the reported core must make the
+    // remaining conjunction satisfiable — i.e. the core as printed is
+    // irreducible, under the strategy that reuses solver state.
+    let outcome = analyze_with_strategy(SOLVER_REFUTED, SolverStrategy::Incremental);
+    assert!(!outcome.refuted.is_empty());
+    let core = &outcome.refuted[0].core;
+    assert!(!core.is_empty());
+    // A minimal core never repeats a constraint.
+    let mut sorted = core.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), core.len(), "duplicate constraints in {core:?}");
+    // And stays far below the fully grounded formula.
+    assert!(core.len() <= 6, "{core:?}");
 }
 
 #[test]

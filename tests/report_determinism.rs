@@ -1,0 +1,366 @@
+//! The report-determinism contract: every interchange artifact the
+//! observability layer produces — the SARIF 2.1.0 document, the
+//! provenance DAG (JSON and DOT), the stable fingerprints and the
+//! run-to-run diff — must be byte-identical for any `--threads` value
+//! and either `--solver-strategy`. The only tolerated difference is
+//! the run manifest itself (`invocations[0].properties`), which
+//! legitimately records the knobs being varied plus nondeterministic
+//! phase wall times.
+//!
+//! Layers:
+//!
+//! 1. a property test over random `canary-workloads` programs
+//!    comparing the full SARIF document, every report's provenance
+//!    JSON + DOT, and the pairwise diff across four front-end /
+//!    solver-strategy combinations;
+//! 2. byte-level CLI checks on `examples/fig2_variant.cir`, including
+//!    the Fig. 2 witness as a thread-aware codeFlow;
+//! 3. baseline classification: an injected bug is `new`, a removed
+//!    one is `fixed`, and unchanged corpora diff clean;
+//! 4. a dedup regression: fingerprint-equal reports collapse to the
+//!    shortest witness before emission.
+
+use canary::{Canary, CanaryConfig};
+use canary_report::{diff_sarif, sarif_document, RunManifest};
+use canary_smt::SolverStrategy;
+use canary_workloads::{generate, WorkloadSpec};
+use proptest::prelude::*;
+use serde_json::Value;
+
+fn configured(threads: usize, strategy: SolverStrategy) -> Canary {
+    let mut config = CanaryConfig::default();
+    config.threads = threads;
+    config.detect.solver.strategy = strategy;
+    Canary::with_config(config)
+}
+
+/// A fixed manifest so library-level byte comparisons exercise the
+/// document body, not the (legitimately varying) invocation block.
+fn fixed_manifest(file: &str) -> RunManifest {
+    RunManifest {
+        file: file.to_string(),
+        corpus_hash: "0000000000000000".to_string(),
+        strategy: "fresh".to_string(),
+        threads: 1,
+        config: vec![("checkers".into(), "all".into())],
+        timings_ms: vec![],
+    }
+}
+
+/// Renders the three artifacts under test for one configuration:
+/// the pretty-printed SARIF document and, per report, the provenance
+/// DAG as JSON and DOT.
+fn artifacts(prog: &canary_ir::Program, outcome: &canary::AnalysisOutcome) -> (String, String, String) {
+    let manifest = fixed_manifest("workload.cir");
+    let sarif = serde_json::to_string_pretty(&sarif_document(prog, &outcome.reports, &manifest))
+        .expect("valid json");
+    let mut prov_json = String::new();
+    let mut prov_dot = String::new();
+    for r in &outcome.reports {
+        let p = r.provenance.as_ref().expect("every report carries provenance");
+        prov_json.push_str(&serde_json::to_string_pretty(&p.to_json()).expect("valid json"));
+        prov_json.push('\n');
+        prov_dot.push_str(&p.to_dot(&format!("{}", r.kind)));
+        prov_dot.push('\n');
+    }
+    (sarif, prov_json, prov_dot)
+}
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (0u64..1000, 120usize..300, 1usize..4, 1usize..4, 0usize..3, 0usize..2).prop_map(
+        |(seed, stmts, threads, cells, bugs, df)| WorkloadSpec {
+            name: format!("report-det-{seed}"),
+            seed,
+            target_stmts: stmts,
+            threads,
+            shared_cells: cells,
+            true_bugs: bugs,
+            benign_patterns: 1,
+            contradiction_patterns: 1,
+            handshake_patterns: 1,
+            order_fp_patterns: 0,
+            double_free: df,
+            null_deref: 1,
+            leak: 0,
+            filler: true,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn report_artifacts_identical_across_threads_and_strategy(spec in spec_strategy()) {
+        let w = generate(&spec);
+        let combos = [
+            (1, SolverStrategy::Fresh),
+            (4, SolverStrategy::Fresh),
+            (1, SolverStrategy::Incremental),
+            (4, SolverStrategy::Incremental),
+        ];
+        let mut rendered: Vec<(String, String, String)> = Vec::new();
+        let mut docs: Vec<Value> = Vec::new();
+        for (threads, strategy) in combos {
+            let outcome = configured(threads, strategy).analyze(&w.prog);
+            let prog = outcome.analyzed_program.as_ref().unwrap_or(&w.prog);
+            rendered.push(artifacts(prog, &outcome));
+            docs.push(sarif_document(prog, &outcome.reports, &fixed_manifest("workload.cir")));
+        }
+        for (i, r) in rendered.iter().enumerate().skip(1) {
+            prop_assert_eq!(&rendered[0].0, &r.0, "SARIF differs in combo {}", i);
+            prop_assert_eq!(&rendered[0].1, &r.1, "provenance JSON differs in combo {}", i);
+            prop_assert_eq!(&rendered[0].2, &r.2, "provenance DOT differs in combo {}", i);
+        }
+        // Any two runs of the same corpus diff clean: nothing new,
+        // nothing fixed, every finding persisting.
+        for cur in docs.iter().skip(1) {
+            let d = diff_sarif(&docs[0], cur).expect("well-formed SARIF");
+            prop_assert!(d.new.is_empty() && d.fixed.is_empty(), "{:?}", d);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI-level byte identity and the Fig. 2 codeFlow.
+// ---------------------------------------------------------------------------
+
+fn fig2_variant() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/fig2_variant.cir")
+}
+
+fn run_sarif(path: &std::path::Path, extra: &[&str]) -> Value {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_canary"))
+        .arg(path)
+        .args(["--format", "sarif"])
+        .args(extra)
+        .output()
+        .expect("run canary");
+    serde_json::from_slice(&out.stdout).expect("valid json")
+}
+
+/// Blanks the run manifest: the invocation properties record the
+/// *actual* strategy/threads/wall-times, which are exactly the knobs
+/// this test varies. Everything else must match byte-for-byte.
+fn normalize_manifest(mut doc: Value) -> String {
+    {
+        let Value::Object(top) = &mut doc else {
+            panic!("expected object document")
+        };
+        let Some(Value::Array(runs)) = top.get_mut("runs") else {
+            panic!("expected runs array")
+        };
+        let Some(Value::Object(run)) = runs.get_mut(0) else {
+            panic!("expected run object")
+        };
+        let Some(Value::Array(invs)) = run.get_mut("invocations") else {
+            panic!("expected invocations array")
+        };
+        let Some(Value::Object(inv)) = invs.get_mut(0) else {
+            panic!("expected invocation object")
+        };
+        inv.insert("properties".to_string(), Value::Null);
+    }
+    serde_json::to_string_pretty(&doc).expect("valid json")
+}
+
+#[test]
+fn cli_sarif_is_byte_identical_across_threads_and_strategy() {
+    let path = fig2_variant();
+    let base = normalize_manifest(run_sarif(&path, &[]));
+    for extra in [
+        &["--threads", "4"][..],
+        &["--solver-strategy", "fresh"][..],
+        &["--threads", "4", "--solver-strategy", "fresh"][..],
+        &["--solver-strategy", "incremental"][..],
+    ] {
+        let doc = normalize_manifest(run_sarif(&path, extra));
+        assert_eq!(base, doc, "SARIF differs under {extra:?}");
+    }
+}
+
+#[test]
+fn fig2_variant_sarif_codeflow_reproduces_the_witness() {
+    let doc = run_sarif(&fig2_variant(), &[]);
+    assert_eq!(doc["version"], "2.1.0");
+    assert!(
+        doc["$schema"].as_str().unwrap().contains("sarif-schema-2.1.0"),
+        "{:?}",
+        doc["$schema"]
+    );
+    let results = doc["runs"][0]["results"].as_array().unwrap();
+    assert_eq!(results.len(), 1, "one UAF on the racy Fig. 2 variant");
+    let r = &results[0];
+    assert_eq!(r["ruleId"], "canary/use-after-free");
+    let fp = r["partialFingerprints"]["canary/v1"].as_str().unwrap();
+    assert_eq!(fp.len(), 16, "16-hex-digit fingerprint: {fp}");
+    // One threadFlow per static thread; the fork appears in both the
+    // forking and the forked flow (a flow-join point), and the global
+    // executionOrder reconstructs the witness interleaving.
+    let flows = r["codeFlows"][0]["threadFlows"].as_array().unwrap();
+    assert_eq!(flows.len(), 2, "main + forked thread");
+    let ids: Vec<&str> = flows.iter().map(|f| f["id"].as_str().unwrap()).collect();
+    assert_eq!(ids, ["t0", "t1"]);
+    let texts: Vec<Vec<String>> = flows
+        .iter()
+        .map(|f| {
+            f["locations"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|l| l["location"]["message"]["text"].as_str().unwrap().to_string())
+                .collect()
+        })
+        .collect();
+    assert!(
+        texts[0].iter().any(|t| t.contains("fork") && t.contains("[forks t1]")),
+        "{texts:?}"
+    );
+    assert!(
+        texts[1].iter().any(|t| t.contains("[thread t1 starts here]")),
+        "{texts:?}"
+    );
+    assert!(texts[1].iter().any(|t| t.contains("free b")), "{texts:?}");
+    assert!(texts[0].iter().any(|t| t.contains("use c")), "{texts:?}");
+    // executionOrder values are unique, 1-based, and the free precedes
+    // the use in the witness interleaving despite living in another
+    // thread's flow.
+    let mut orders: Vec<(i64, String)> = flows
+        .iter()
+        .flat_map(|f| f["locations"].as_array().unwrap())
+        .map(|l| {
+            (
+                l["executionOrder"].as_i64().unwrap(),
+                l["location"]["message"]["text"].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    orders.sort();
+    let free_pos = orders.iter().position(|(_, t)| t.contains("free b")).unwrap();
+    let use_pos = orders.iter().position(|(_, t)| t.contains("use c")).unwrap();
+    assert!(free_pos < use_pos, "witness order: free before use: {orders:?}");
+    // Provenance rides along under properties: licensed interference
+    // edges carry the escaped object and the MHP facts consulted.
+    let prov = &r["properties"]["provenance"];
+    assert!(!prov["edges"].as_array().unwrap().is_empty());
+    assert!(
+        prov["edges"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|e| e["kind"] == "interference" && !e["escape"].is_null()),
+        "{prov:?}"
+    );
+    assert!(!prov["mhp"].as_array().unwrap().is_empty(), "{prov:?}");
+    assert!(!prov["model"].is_null(), "satisfying model slice attached");
+}
+
+// ---------------------------------------------------------------------------
+// Baseline classification: injected bug is new, removed bug is fixed.
+// ---------------------------------------------------------------------------
+
+const ONE_BUG: &str = "fn main() { p = alloc o; fork t w(p); free p; }\nfn w(q) { use q; }\n";
+const OTHER_BUG: &str =
+    "fn main() { s = alloc o2; fork t r(s); free s; }\nfn r(h) { use h; }\n";
+
+fn temp(name: &str, src: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("canary-report-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, src).unwrap();
+    path
+}
+
+fn canary_bin() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_canary"))
+}
+
+#[test]
+fn baseline_diff_classifies_injected_and_removed_bugs() {
+    let a = temp("one_bug.cir", ONE_BUG);
+    let b = temp("other_bug.cir", OTHER_BUG);
+    let a_sarif = temp("one_bug.sarif", "");
+    let b_sarif = temp("other_bug.sarif", "");
+    for (src, out) in [(&a, &a_sarif), (&b, &b_sarif)] {
+        let st = canary_bin()
+            .arg(src)
+            .args(["--sarif-out", out.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(st.status.code(), Some(1), "both corpora have one bug");
+    }
+    // b vs baseline a: a's finding is fixed, b's is new -> exit 1.
+    let out = canary_bin()
+        .arg("diff")
+        .arg(&a_sarif)
+        .arg(&b_sarif)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "new finding gates the exit code");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[new]"), "{stdout}");
+    assert!(stdout.contains("[fixed]"), "{stdout}");
+    assert!(stdout.contains("1 new, 1 fixed, 0 persisting"), "{stdout}");
+    // Unchanged corpus against its own baseline: exit 0, all persisting.
+    let out = canary_bin()
+        .arg(&a)
+        .args(["--baseline", a_sarif.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "no new findings on unchanged corpus");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 new, 0 fixed, 1 persisting"), "{stdout}");
+    // The same corpus against the other baseline flips to exit 1.
+    let out = canary_bin()
+        .arg(&b)
+        .args(["--baseline", a_sarif.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "injected bug classified as new");
+}
+
+#[test]
+fn fingerprints_are_stable_under_line_shifts() {
+    // The same bug with unrelated statements spliced above it: every
+    // label moves, the fingerprint must not.
+    let shifted = "fn main() { z1 = alloc filler; z2 = alloc filler2; \
+                   p = alloc o; fork t w(p); free p; }\nfn w(q) { use q; }\n";
+    let run = |src: &str, name: &str| -> String {
+        let path = temp(name, src);
+        let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+        let doc: Value = serde_json::from_slice(&out.stdout).unwrap();
+        doc["reports"][0]["fingerprint"].as_str().unwrap().to_string()
+    };
+    assert_eq!(
+        run(ONE_BUG, "stable_base.cir"),
+        run(shifted, "stable_shifted.cir"),
+        "fingerprint must survive label renumbering"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Dedup regression: fingerprint-equal reports collapse pre-emission.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fingerprint_equal_reports_dedup_to_shortest_witness() {
+    // Loop unrolling clones the free at three labels; all three clones
+    // produce position-stripped-identical witnesses, so exactly one
+    // report (the shortest) survives.
+    let src = "fn main() { p = alloc o; fork t w(p); while (c) { free p; } }\n\
+               fn w(q) { use q; }\n";
+    let path = temp("dedup_unroll.cir", src);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--unroll", "3", "--checkers", "uaf", "--json"])
+        .output()
+        .unwrap();
+    let doc: Value = serde_json::from_slice(&out.stdout).unwrap();
+    let reports = doc["reports"].as_array().unwrap();
+    assert_eq!(reports.len(), 1, "duplicates collapse: {reports:?}");
+    assert_eq!(doc["metrics"]["reports_deduped"].as_u64(), Some(2));
+    // The survivor is a genuine shortest witness: no longer schedule
+    // exists among the collapsed clones (free@l3 is the earliest).
+    let schedule = reports[0]["witness_schedule"].as_array().unwrap();
+    assert_eq!(schedule.len(), 4, "{schedule:?}");
+}
