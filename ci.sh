@@ -78,3 +78,40 @@ fi
 # classification regressions.
 cargo test -q --offline --test report_determinism
 CANARY_TEST_THREADS=2 cargo test -q --offline --test report_determinism
+# Lock-discipline gates: the checker matrix (double-lock +
+# conflict-lock buggy/safe pairs and seeded corpora), the lock-order
+# brute-force differential, and the lock-sharpened-MHP soundness
+# envelope — serially and with the parallel front-end.
+cargo test -q --offline --test checker_matrix
+CANARY_TEST_THREADS=2 cargo test -q --offline --test checker_matrix
+cargo test -q -p canary-smt --offline --test lock_order_brute
+cargo test -q --offline --test lock_sharpen_equivalence
+CANARY_TEST_THREADS=2 cargo test -q --offline --test lock_sharpen_equivalence
+# Deadlock example smoke: both lock checkers fire (exit 1) and the
+# SARIF export validates like the Fig. 2 document above.
+./target/release/canary examples/deadlock.cir --format sarif \
+    > /tmp/canary_deadlock.sarif || [ $? -eq 1 ]  # exit 1 = bug reported
+if python3 -c 'import jsonschema' 2>/dev/null; then
+    python3 -c '
+import json, jsonschema
+doc = json.load(open("/tmp/canary_deadlock.sarif"))
+schema = json.load(open("docs/sarif-2.1.0-minimal.schema.json"))
+jsonschema.validate(doc, schema)
+rules = [r["ruleId"] for r in doc["runs"][0]["results"]]
+assert "canary/double-lock" in rules, rules
+assert "canary/conflict-lock" in rules, rules'
+elif command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+doc = json.load(open("/tmp/canary_deadlock.sarif"))
+assert doc["version"] == "2.1.0"
+run = doc["runs"][0]
+rules = [r["ruleId"] for r in run["results"]]
+assert "canary/double-lock" in rules, rules
+assert "canary/conflict-lock" in rules, rules
+for r in run["results"]:
+    assert run["tool"]["driver"]["rules"][r["ruleIndex"]]["id"] == r["ruleId"]'
+else
+    grep -q '"canary/double-lock"' /tmp/canary_deadlock.sarif
+    grep -q '"canary/conflict-lock"' /tmp/canary_deadlock.sarif
+fi

@@ -165,6 +165,8 @@ fn main() {
             double_free: 2,
             null_deref: 2,
             leak: 2,
+            double_lock: 1,
+            conflict_lock: 1,
             filler: true,
         },
         WorkloadSpec {
@@ -181,6 +183,8 @@ fn main() {
             double_free: 3,
             null_deref: 2,
             leak: 1,
+            double_lock: 1,
+            conflict_lock: 2,
             filler: true,
         },
     ];

@@ -105,6 +105,8 @@ impl Default for CanaryConfig {
                 BugKind::DoubleFree,
                 BugKind::NullDeref,
                 BugKind::DataLeak,
+                BugKind::DoubleLock,
+                BugKind::ConflictLock,
             ],
             context_depth: 0,
             threads: default_threads(),
@@ -149,6 +151,9 @@ pub struct Metrics {
     pub vfg_edges: usize,
     /// Interference edges added by Alg. 2.
     pub interference_edges: usize,
+    /// Store/load pairs discharged by lock-based mutual-exclusion
+    /// sharpening during Alg. 2.
+    pub mhp_lock_pruned: usize,
     /// Escaped objects found.
     pub escaped_objects: usize,
     /// Approximate VFG bytes (Fig. 7b accounting).
@@ -506,6 +511,7 @@ impl Canary {
             );
             phase.record("rounds", r.rounds as u64);
             phase.record("interference_edges", r.interference_edges as u64);
+            phase.record("mhp_lock_pruned", r.mhp_lock_pruned as u64);
             phase.record("escaped", r.escaped.len() as u64);
             r
         };
@@ -526,6 +532,7 @@ impl Canary {
         metrics.vfg_nodes = df.vfg.node_count();
         metrics.vfg_edges = df.vfg.edge_count();
         metrics.interference_edges = df.vfg.interference_edge_count();
+        metrics.mhp_lock_pruned = ir_result.mhp_lock_pruned;
         metrics.escaped_objects = ir_result.escaped.len();
         metrics.vfg_bytes = df.vfg.approx_bytes();
         metrics.term_count = pool.len();
@@ -541,7 +548,7 @@ mod tests {
     #[test]
     fn default_config_checks_all_kinds() {
         let c = Canary::new();
-        assert_eq!(c.config().checkers.len(), 4);
+        assert_eq!(c.config().checkers.len(), 6);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod analysis;
 pub mod exec;
+pub mod locks;
 pub mod pathcond;
 pub mod symbols;
 
@@ -48,6 +49,7 @@ pub use analysis::{
     run, run_traced, run_with, DataflowResult, FuncProfile, FuncSummary, LoadSite, ParamLoad,
     StoreSite,
 };
+pub use locks::{LockModel, LockRegion, LockSite};
 pub use pathcond::{cond_term, PathConditions};
 pub use symbols::{insert_guarded, CellSet, Guarded, MemKey, MemVal, PtsSet, Sym};
 

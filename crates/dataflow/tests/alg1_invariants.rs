@@ -24,6 +24,8 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
             double_free: 0,
             null_deref: 0,
             leak: 0,
+            double_lock: 0,
+            conflict_lock: 0,
             filler: true,
         },
     )

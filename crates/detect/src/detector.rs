@@ -6,13 +6,14 @@
 use std::collections::{BTreeSet, HashSet};
 use std::time::Duration;
 
-use canary_dataflow::DataflowResult;
+use canary_dataflow::{DataflowResult, LockModel};
 use canary_ir::{Inst, Label, MhpAnalysis, Program, ThreadStructure, VarId};
 use canary_smt::{
-    check_all_grouped, Node, QueryCache, SmtResult, SolverOptions, SolverStats, TermId, TermPool,
+    check_all_grouped, check_orders, EventId, Node, OrderEdge, QueryCache, SmtResult,
+    SolverOptions, SolverStats, TermId, TermPool, TheoryResult,
 };
 use canary_trace::{Tracer, LANE_DETECT, LANE_SMT};
-use canary_vfg::{NodeId, NodeKind};
+use canary_vfg::{EdgeKind, NodeId, NodeKind};
 
 use crate::constraints;
 use crate::path::{enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
@@ -168,6 +169,8 @@ pub struct DetectContext<'p> {
     pub df: &'p DataflowResult,
     /// Synchronization model (§9 extension), if enabled.
     pub sync: Option<SyncModel>,
+    /// Critical-section model for the lock-discipline checkers.
+    pub locks: LockModel,
 }
 
 impl<'p> DetectContext<'p> {
@@ -182,12 +185,14 @@ impl<'p> DetectContext<'p> {
         let sync = opts
             .sync_constraints
             .then(|| SyncModel::build(prog, mhp.order_graph(), df));
+        let locks = LockModel::build(prog, mhp.order_graph(), df);
         DetectContext {
             prog,
             ts,
             mhp,
             df,
             sync,
+            locks,
         }
     }
 
@@ -305,6 +310,8 @@ pub fn check_kind_traced(
             &taint_sources(ctx.prog),
             &sink_nodes(ctx),
         ),
+        BugKind::DoubleLock => double_lock_candidates(ctx, pool, opts, stats),
+        BugKind::ConflictLock => conflict_lock_candidates(ctx, pool, opts, stats),
     };
     span.record(
         "candidate_paths",
@@ -339,6 +346,8 @@ pub fn check_all_kinds(
         BugKind::DoubleFree,
         BugKind::NullDeref,
         BugKind::DataLeak,
+        BugKind::DoubleLock,
+        BugKind::ConflictLock,
     ] {
         let (reports, _, _) = check_kind_traced(
             ctx,
@@ -700,6 +709,334 @@ fn flow_candidates(
                 out.push(c);
             }
         }
+    }
+    out
+}
+
+/// Renders a lock/unlock site as `mutex@l<n>` — the same shape as VFG
+/// node renders, so fingerprints stay stable under line shifts.
+fn lock_render(prog: &Program, l: Label) -> String {
+    let v = match prog.inst(l) {
+        Inst::Lock { mutex } | Inst::Unlock { mutex } => *mutex,
+        _ => unreachable!("lock_render on a non-lock site"),
+    };
+    format!("{}@{}", prog.var_name(v), l)
+}
+
+/// The mutex object a lock site resolves to, for provenance nodes.
+fn lock_object(prog: &Program, lm: &LockModel, l: Label) -> Option<String> {
+    lm.locks
+        .iter()
+        .chain(lm.unlocks.iter())
+        .find(|s| s.label == l)
+        .and_then(|s| s.objs.first())
+        .map(|&o| prog.obj_name(o).to_string())
+}
+
+/// Double-lock candidates: a thread re-acquires a mutex of the same
+/// alias class while the first acquisition's guard is still live — no
+/// aliasing unlock intervenes on any path between the two sites.
+/// Cross-thread acquisition of a held lock is contention, not
+/// double-lock, so pairs that may sit in distinct threads are skipped
+/// (mirroring the oracle, which only reports same-thread
+/// re-acquisition). Feasibility is `Φ_guards ∧ O_first < O_second ∧
+/// Φ_po`; region mutual exclusion is irrelevant since both events are
+/// in one thread.
+fn double_lock_candidates(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> Vec<Candidate> {
+    if opts.inter_thread_only {
+        // Double-lock is an intra-thread discipline bug by definition.
+        return Vec::new();
+    }
+    let og = ctx.mhp.order_graph();
+    let lm = &ctx.locks;
+    let keep = order_policy(ctx.prog, opts.memory_model);
+    let mut out = Vec::new();
+    for a in &lm.locks {
+        let Some(class) = a.class else { continue };
+        for b in &lm.locks {
+            if a.label == b.label
+                || b.class != Some(class)
+                || !og.happens_before(a.label, b.label)
+                || ctx
+                    .ts
+                    .may_be_in_distinct_threads(ctx.prog, a.label, b.label)
+            {
+                continue;
+            }
+            // An aliasing unlock between the two acquisitions releases
+            // the guard; any such release defuses the pair.
+            let released = lm.unlocks.iter().any(|u| {
+                u.class == Some(class)
+                    && og.happens_before(a.label, u.label)
+                    && og.happens_before(u.label, b.label)
+            });
+            if released {
+                continue;
+            }
+            stats.candidate_paths += 1;
+            let reacq = pool.order_lt(a.label.0, b.label.0);
+            let extra = [
+                ctx.df.path_conds.guard(a.label),
+                ctx.df.path_conds.guard(b.label),
+                reacq,
+            ];
+            let labels = [a.label, b.label];
+            let query = constraints::assemble_with(pool, og, &[], &labels, &extra, &keep);
+            if query == pool.ff() && !opts.explain_refutations {
+                continue;
+            }
+            let object = lock_object(ctx.prog, lm, a.label);
+            let nodes = vec![
+                ProvNode {
+                    id: 0,
+                    label: a.label,
+                    render: lock_render(ctx.prog, a.label),
+                    object: object.clone(),
+                },
+                ProvNode {
+                    id: 1,
+                    label: b.label,
+                    render: lock_render(ctx.prog, b.label),
+                    object,
+                },
+            ];
+            let edges = vec![ProvEdge {
+                from: 0,
+                to: 1,
+                kind: EdgeKind::Direct,
+                guard: format!("class {class} still held: {}", pool.render(reacq)),
+                escape: None,
+            }];
+            let mhp = vec![MhpFact {
+                store: a.label,
+                load: b.label,
+                parallel: ctx.mhp.may_happen_in_parallel(a.label, b.label),
+                ordered: og.program_order(a.label, b.label),
+            }];
+            out.push(Candidate {
+                query,
+                path_len: 2,
+                family: u64::from(a.label.0),
+                report: BugReport {
+                    kind: BugKind::DoubleLock,
+                    source: a.label,
+                    sink: b.label,
+                    path: vec![
+                        lock_render(ctx.prog, a.label),
+                        lock_render(ctx.prog, b.label),
+                    ],
+                    inter_thread: false,
+                    constraint: pool.render(query),
+                    schedule: Vec::new(),
+                    guards: Vec::new(),
+                    provenance: Some(Provenance {
+                        nodes,
+                        edges,
+                        mhp,
+                        model: None,
+                    }),
+                },
+            });
+        }
+    }
+    out
+}
+
+/// Conflicting-lock-order candidates: threads acquire the mutexes of a
+/// class cycle in incompatible orders. Each nested acquisition — an
+/// inner lock site of class `c'` inside a region guarding class `c` —
+/// induces an edge `c → c'` in the lock-order graph; the strict
+/// partial-order theory decides cyclicity, and each conflict core it
+/// returns is exactly one cycle. Cycle edges are removed and the
+/// theory re-run, so disjoint seeded cycles surface deterministically.
+///
+/// A cycle becomes a candidate only when every pair of outer
+/// acquisitions may run in distinct threads in parallel, and no *gate
+/// lock* — a common class held around every outer, outside the cycle
+/// itself — serializes the acquisition sequences (Lockbud's classic
+/// false-positive filter). Feasibility is `Φ_guards ∧ (every outer
+/// before every inner) ∧ Φ_po`: the canonical blocked state. Region
+/// mutual exclusion is deliberately NOT conjoined — the order theory
+/// models complete executions and a deadlock has none, so Φ_ls would
+/// wrongly refute genuine deadlocks.
+fn conflict_lock_candidates(
+    ctx: &DetectContext<'_>,
+    pool: &mut TermPool,
+    opts: &DetectOptions,
+    stats: &mut DetectStats,
+) -> Vec<Candidate> {
+    let og = ctx.mhp.order_graph();
+    let lm = &ctx.locks;
+    // (outer region, inner lock label, inner class): class(region) is
+    // held while the inner class is acquired.
+    let mut remaining: Vec<(usize, Label, usize)> = Vec::new();
+    for (ri, r) in lm.regions.iter().enumerate() {
+        for s in &lm.locks {
+            let Some(sc) = s.class else { continue };
+            if sc != r.class && s.label != r.lock && lm.in_region(og, r, s.label) {
+                remaining.push((ri, s.label, sc));
+            }
+        }
+    }
+    let mut cycles: Vec<Vec<(usize, Label, usize)>> = Vec::new();
+    loop {
+        let edges: Vec<OrderEdge> = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &(ri, _, sc))| OrderEdge {
+                from: lm.regions[ri].class as EventId,
+                to: sc as EventId,
+                atom: i,
+            })
+            .collect();
+        match check_orders(&edges) {
+            TheoryResult::Consistent => break,
+            TheoryResult::Conflict(atoms) => {
+                cycles.push(atoms.iter().map(|&i| remaining[i]).collect());
+                for &i in atoms.iter().rev() {
+                    remaining.remove(i);
+                }
+            }
+        }
+    }
+    let keep = order_policy(ctx.prog, opts.memory_model);
+    let mut out = Vec::new();
+    'cycles: for cyc in cycles {
+        // Every pair of outer acquisitions must be concurrently
+        // reachable in distinct threads, else the "cycle" is one
+        // thread's own nesting history, not a deadlock.
+        for (i, &(ri, _, _)) in cyc.iter().enumerate() {
+            for &(rj, _, _) in &cyc[i + 1..] {
+                let (a, b) = (lm.regions[ri].lock, lm.regions[rj].lock);
+                if !ctx.ts.may_be_in_distinct_threads(ctx.prog, a, b)
+                    || !ctx.mhp.may_happen_in_parallel(a, b)
+                {
+                    continue 'cycles;
+                }
+            }
+        }
+        // Gate-lock filter: a common class held around every outer,
+        // outside the cycle's own classes, serializes the sequences.
+        let cycle_classes: HashSet<usize> =
+            cyc.iter().map(|&(ri, _, _)| lm.regions[ri].class).collect();
+        let mut gate: Option<HashSet<usize>> = None;
+        for &(ri, _, _) in &cyc {
+            let held: HashSet<usize> = lm
+                .regions_containing(og, lm.regions[ri].lock)
+                .into_iter()
+                .map(|i| lm.regions[i].class)
+                .filter(|c| !cycle_classes.contains(c))
+                .collect();
+            gate = Some(match gate {
+                None => held,
+                Some(g) => g.intersection(&held).copied().collect(),
+            });
+        }
+        if gate.is_some_and(|g| !g.is_empty()) {
+            continue;
+        }
+        stats.candidate_paths += 1;
+        let outers: Vec<Label> = cyc.iter().map(|&(ri, _, _)| lm.regions[ri].lock).collect();
+        let inners: Vec<Label> = cyc.iter().map(|&(_, l, _)| l).collect();
+        let mut labels = outers.clone();
+        labels.extend(&inners);
+        let mut extra: Vec<TermId> = labels
+            .iter()
+            .map(|&l| ctx.df.path_conds.guard(l))
+            .collect();
+        for &o in &outers {
+            for &i in &inners {
+                if o != i {
+                    extra.push(pool.order_lt(o.0, i.0));
+                }
+            }
+        }
+        let query = constraints::assemble_with(pool, og, &[], &labels, &extra, &keep);
+        if query == pool.ff() && !opts.explain_refutations {
+            continue;
+        }
+        // The oracle keys a blocked cycle by its extreme blocked
+        // acquisition labels; mirror that so replay confirms.
+        let source = *inners.iter().min().expect("cycles are nonempty");
+        let sink = *inners.iter().max().expect("cycles are nonempty");
+        let n = cyc.len();
+        let mut nodes = Vec::with_capacity(2 * n);
+        let mut pedges = Vec::with_capacity(2 * n);
+        for (k, &(ri, inner, sc)) in cyc.iter().enumerate() {
+            let base = 2 * k;
+            for (off, l) in [(0usize, outers[k]), (1, inner)] {
+                nodes.push(ProvNode {
+                    id: base + off,
+                    label: l,
+                    render: lock_render(ctx.prog, l),
+                    object: lock_object(ctx.prog, lm, l),
+                });
+            }
+            pedges.push(ProvEdge {
+                from: base,
+                to: base + 1,
+                kind: EdgeKind::Direct,
+                guard: format!(
+                    "holds class {} while acquiring class {sc}",
+                    lm.regions[ri].class
+                ),
+                escape: None,
+            });
+            pedges.push(ProvEdge {
+                from: base + 1,
+                to: (base + 2) % (2 * n),
+                kind: EdgeKind::Interference,
+                guard: "blocked: conflicting acquisition order".to_string(),
+                escape: None,
+            });
+        }
+        let mut mhp = Vec::new();
+        for (i, &a) in outers.iter().enumerate() {
+            for &b in &outers[i + 1..] {
+                mhp.push(MhpFact {
+                    store: a,
+                    load: b,
+                    parallel: true,
+                    ordered: og.program_order(a, b),
+                });
+            }
+        }
+        let path = cyc
+            .iter()
+            .enumerate()
+            .flat_map(|(k, &(_, inner, _))| {
+                [
+                    lock_render(ctx.prog, outers[k]),
+                    lock_render(ctx.prog, inner),
+                ]
+            })
+            .collect();
+        out.push(Candidate {
+            query,
+            path_len: labels.len() as u64,
+            family: u64::from(source.0),
+            report: BugReport {
+                kind: BugKind::ConflictLock,
+                source,
+                sink,
+                path,
+                inter_thread: true,
+                constraint: pool.render(query),
+                schedule: Vec::new(),
+                guards: Vec::new(),
+                provenance: Some(Provenance {
+                    nodes,
+                    edges: pedges,
+                    mhp,
+                    model: None,
+                }),
+            },
+        });
     }
     out
 }

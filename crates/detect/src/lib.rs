@@ -354,6 +354,110 @@ mod tests {
     }
 
     #[test]
+    fn double_lock_reacquisition_detected() {
+        let reports = detect(
+            "fn main() { m = alloc mu; n = m; lock m; lock n; unlock n; }",
+            BugKind::DoubleLock,
+        );
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert!(!reports[0].inter_thread);
+        let prov = reports[0].provenance.as_ref().expect("lock provenance");
+        assert_eq!(prov.nodes.len(), 2);
+        assert!(prov.edges[0].guard.contains("held"));
+    }
+
+    #[test]
+    fn unlock_between_acquisitions_is_not_double_lock() {
+        let reports = detect(
+            "fn main() { m = alloc mu; lock m; unlock m; lock m; unlock m; }",
+            BugKind::DoubleLock,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn cross_thread_contention_is_not_double_lock() {
+        // The parent holds the mutex across the fork while the child
+        // acquires it: contention, not re-acquisition.
+        let reports = detect(
+            "fn main() { m = alloc mu; lock m; fork t w(m); unlock m; join t; }
+             fn w(n) { lock n; unlock n; }",
+            BugKind::DoubleLock,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn conflicting_lock_orders_detected() {
+        let reports = detect(
+            "fn main() {
+                a = alloc ma; b = alloc mb;
+                fork t w(a, b);
+                lock a; lock b; unlock b; unlock a;
+                join t;
+             }
+             fn w(x, y) { lock y; lock x; unlock x; unlock y; }",
+            BugKind::ConflictLock,
+        );
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert!(reports[0].inter_thread);
+        // Source/sink are the extreme blocked (inner) acquisitions.
+        assert!(reports[0].source < reports[0].sink);
+        let prov = reports[0].provenance.as_ref().expect("cycle provenance");
+        assert_eq!(prov.nodes.len(), 4);
+        assert!(prov.mhp.iter().all(|m| m.parallel));
+    }
+
+    #[test]
+    fn consistent_lock_order_is_clean() {
+        let reports = detect(
+            "fn main() {
+                a = alloc ma; b = alloc mb;
+                fork t w(a, b);
+                lock a; lock b; unlock b; unlock a;
+                join t;
+             }
+             fn w(x, y) { lock x; lock y; unlock y; unlock x; }",
+            BugKind::ConflictLock,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn join_serialized_lock_orders_are_clean() {
+        // Opposite orders, but the parent only locks after joining the
+        // child: no interleaving blocks.
+        let reports = detect(
+            "fn main() {
+                a = alloc ma; b = alloc mb;
+                fork t w(a, b);
+                join t;
+                lock a; lock b; unlock b; unlock a;
+             }
+             fn w(x, y) { lock y; lock x; unlock x; unlock y; }",
+            BugKind::ConflictLock,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn gate_lock_suppresses_conflict_report() {
+        // Both acquisition sequences run under a common gate mutex, so
+        // the opposite inner orders can never interleave into a cycle.
+        let reports = detect(
+            "fn main() {
+                g = alloc mg; a = alloc ma; b = alloc mb;
+                fork t w(g, a, b);
+                lock g; lock a; lock b; unlock b; unlock a; unlock g;
+                join t;
+             }
+             fn w(h, x, y) { lock h; lock y; lock x; unlock x; unlock y; unlock h; }",
+            BugKind::ConflictLock,
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
     fn report_paths_are_rendered() {
         let reports = detect(
             "fn main() { p = alloc o; free p; use p; }",

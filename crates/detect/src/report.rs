@@ -23,6 +23,11 @@ pub enum BugKind {
     NullDeref,
     /// Tainted data reaches a public sink.
     DataLeak,
+    /// A non-reentrant lock is re-acquired while its guard is live.
+    DoubleLock,
+    /// Two threads acquire the same locks in conflicting orders — a
+    /// deadlock-capable acquisition-order cycle.
+    ConflictLock,
 }
 
 impl fmt::Display for BugKind {
@@ -32,6 +37,8 @@ impl fmt::Display for BugKind {
             BugKind::DoubleFree => "double-free",
             BugKind::NullDeref => "null-dereference",
             BugKind::DataLeak => "data-leak",
+            BugKind::DoubleLock => "double-lock",
+            BugKind::ConflictLock => "conflict-lock",
         };
         f.write_str(s)
     }
@@ -169,6 +176,8 @@ mod tests {
         assert_eq!(BugKind::DoubleFree.to_string(), "double-free");
         assert_eq!(BugKind::NullDeref.to_string(), "null-dereference");
         assert_eq!(BugKind::DataLeak.to_string(), "data-leak");
+        assert_eq!(BugKind::DoubleLock.to_string(), "double-lock");
+        assert_eq!(BugKind::ConflictLock.to_string(), "conflict-lock");
     }
 
     #[test]

@@ -39,7 +39,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use canary_dataflow::{exec, DataflowResult, LoadSite, StoreSite};
+use canary_dataflow::{exec, DataflowResult, LoadSite, LockModel, StoreSite};
 use canary_ir::{Inst, Label, MhpAnalysis, ObjId, Program, ThreadStructure, VarId};
 use canary_smt::{ScratchPool, TermBuild, TermId, TermPool};
 use canary_trace::{Tracer, LANE_ALG2};
@@ -58,6 +58,13 @@ pub struct InterferenceOptions {
     /// Worker threads for the sharded phases of each edge round.
     /// Output is identical for every value; `1` runs inline.
     pub threads: usize,
+    /// Lock-based sharpening: discharge store/load pairs whose
+    /// critical sections guard a common mutex class when a definite
+    /// later store in the store's own section overwrites the value
+    /// before the section ends (thread-modular mutual exclusion à la
+    /// Kusano & Wang). Sound: the two sections serialize, so the load
+    /// can never observe the overwritten value.
+    pub lock_sharpen: bool,
 }
 
 impl Default for InterferenceOptions {
@@ -66,6 +73,7 @@ impl Default for InterferenceOptions {
             use_mhp: true,
             max_rounds: 16,
             threads: 1,
+            lock_sharpen: true,
         }
     }
 }
@@ -85,6 +93,9 @@ pub struct InterferenceResult {
     pub refreshed_data_edges: usize,
     /// Store/load pairs pruned by the MHP analysis.
     pub mhp_pruned: usize,
+    /// Store/load pairs additionally discharged by lock-based
+    /// mutual-exclusion sharpening.
+    pub mhp_lock_pruned: usize,
     /// Sharded work items executed across all rounds (`Pted` sweeps
     /// plus per-load candidate scans) — the unit the per-phase metrics
     /// report.
@@ -127,6 +138,7 @@ pub fn run_traced(
         interference_edges: 0,
         refreshed_data_edges: 0,
         mhp_pruned: 0,
+        mhp_lock_pruned: 0,
         tasks: 0,
     };
     let rounds = a.fixpoint(df, tracer);
@@ -136,6 +148,7 @@ pub fn run_traced(
         interference_edges: a.interference_edges,
         refreshed_data_edges: a.refreshed_data_edges,
         mhp_pruned: a.mhp_pruned,
+        mhp_lock_pruned: a.mhp_lock_pruned,
         tasks: a.tasks,
     }
 }
@@ -151,6 +164,7 @@ struct InterferenceAnalysis<'p> {
     interference_edges: usize,
     refreshed_data_edges: usize,
     mhp_pruned: usize,
+    mhp_lock_pruned: usize,
     tasks: usize,
 }
 
@@ -187,6 +201,7 @@ impl InterferenceAnalysis<'_> {
                 let edges_before = self.interference_edges as u64;
                 let data_before = self.refreshed_data_edges as u64;
                 let pruned_before = self.mhp_pruned as u64;
+                let lock_before = self.mhp_lock_pruned as u64;
                 let tasks_before = self.tasks as u64;
                 let mut span = tracer.span(LANE_ALG2, "alg2", rounds as u64, || {
                     format!("alg2.edges:{rounds}")
@@ -202,6 +217,7 @@ impl InterferenceAnalysis<'_> {
                     self.refreshed_data_edges as u64 - data_before,
                 );
                 span.record("mhp_pruned", self.mhp_pruned as u64 - pruned_before);
+                span.record("mhp_lock_pruned", self.mhp_lock_pruned as u64 - lock_before);
                 span.record("tasks", self.tasks as u64 - tasks_before);
             }
             canary_trace::log(canary_trace::LogLevel::Debug, || {
@@ -338,6 +354,13 @@ impl InterferenceAnalysis<'_> {
             }
         }
 
+        // Critical sections for the lock-sharpening prune, rebuilt per
+        // round so mutex aliasing reflects the current VFG.
+        let lockm = self
+            .opts
+            .lock_sharpen
+            .then(|| LockModel::build(self.prog, self.mhp.order_graph(), df));
+
         // Candidate pair checks, one task per load. Tasks see frozen
         // state and only *propose* edges; the commit below materializes
         // them in load order, which reproduces the serial pool exactly.
@@ -351,6 +374,7 @@ impl InterferenceAnalysis<'_> {
             let dff: &DataflowResult = df;
             let pted = &pted;
             let stores_on_obj = &stores_on_obj;
+            let locks = lockm.as_ref();
             exec::run_indexed(dff.loads.len(), threads, |li| {
                 check_load(
                     prog,
@@ -361,14 +385,16 @@ impl InterferenceAnalysis<'_> {
                     frozen,
                     pted,
                     stores_on_obj,
+                    locks,
                     &dff.loads[li],
                 )
             })
         };
 
         let mut changed = false;
-        for (edges, log, pruned) in outs {
+        for (edges, log, pruned, lock_pruned) in outs {
             self.mhp_pruned += pruned;
+            self.mhp_lock_pruned += lock_pruned;
             let Some(log) = log else { continue };
             let remap = log.commit(self.pool);
             for e in edges {
@@ -400,13 +426,21 @@ fn check_load(
     frozen: &TermPool,
     pted: &[(ObjId, HashMap<NodeId, TermId>)],
     stores_on_obj: &HashMap<ObjId, Vec<usize>>,
+    locks: Option<&LockModel>,
     load: &LoadSite,
-) -> (Vec<PendingEdge>, Option<canary_smt::ScratchLog>, usize) {
+) -> (
+    Vec<PendingEdge>,
+    Option<canary_smt::ScratchLog>,
+    usize,
+    usize,
+) {
     let mut pruned = 0usize;
+    let mut lock_pruned = 0usize;
     let Some(ya) = find_def_node(df, load.addr) else {
-        return (Vec::new(), None, 0);
+        return (Vec::new(), None, 0, 0);
     };
     let mut sp = ScratchPool::new(frozen);
+    let tt = sp.tt();
     let mut edges = Vec::new();
     let stores = &df.stores;
     for (o, nodes) in pted {
@@ -439,6 +473,12 @@ fn check_load(
                     pruned += 1;
                     continue;
                 }
+                if let Some(lm) = locks {
+                    if lock_excluded(df, mhp, lm, tt, s, load, candidates, stores) {
+                        lock_pruned += 1;
+                        continue;
+                    }
+                }
                 let guard = edge_guard(&mut sp, mhp, s, load, alpha, beta, candidates, stores);
                 edges.push(PendingEdge {
                     kind: EdgeKind::Interference,
@@ -466,7 +506,66 @@ fn check_load(
             }
         }
     }
-    (edges, Some(sp.into_log()), pruned)
+    (edges, Some(sp.into_log()), pruned, lock_pruned)
+}
+
+/// Lock-based mutual-exclusion sharpening for one store/load pair:
+/// prunable when both statements sit in critical sections guarding a
+/// common mutex class and a *definite* later store in the store's own
+/// section overwrites the value before the section ends. The sections
+/// serialize, so either the store's section completes first — and the
+/// load observes the overwrite, not `s` — or it runs entirely after
+/// the load, and `O_s < O_l` fails. Naive common-lock pruning without
+/// the killing store is unsound (the value survives the unlock).
+///
+/// Strictness guards against may-reach region containment: the
+/// region's `lock` must be unconditional or share the statement's own
+/// path condition, and the killing store must write through the same
+/// address variable (syntactic must-alias) under the store's guard or
+/// unconditionally.
+#[allow(clippy::too_many_arguments)]
+fn lock_excluded(
+    df: &DataflowResult,
+    mhp: &MhpAnalysis<'_>,
+    lm: &LockModel,
+    tt: TermId,
+    s: &StoreSite,
+    l: &LoadSite,
+    candidates: &[usize],
+    stores: &[StoreSite],
+) -> bool {
+    if lm.regions.is_empty() {
+        return false;
+    }
+    let og = mhp.order_graph();
+    let strict = |lock: Label, stmt: Label| {
+        let g = df.path_conds.guard(lock);
+        g == tt || g == df.path_conds.guard(stmt)
+    };
+    let load_classes: Vec<usize> = lm
+        .regions_containing(og, l.label)
+        .into_iter()
+        .filter(|&ri| strict(lm.regions[ri].lock, l.label))
+        .map(|ri| lm.regions[ri].class)
+        .collect();
+    if load_classes.is_empty() {
+        return false;
+    }
+    lm.regions_containing(og, s.label).into_iter().any(|ri| {
+        let r = &lm.regions[ri];
+        if !load_classes.contains(&r.class) || !strict(r.lock, s.label) {
+            return false;
+        }
+        // A definite overwrite between the store and its unlock.
+        candidates.iter().any(|&si| {
+            let s2 = &stores[si];
+            s2.label != s.label
+                && s2.addr == s.addr
+                && og.happens_before(s.label, s2.label)
+                && lm.in_region(og, r, s2.label)
+                && (s2.guard == s.guard || s2.guard == tt)
+        })
+    })
 }
 
 /// `Φ_guard = Φ_alias ∧ Φ_ls` (Eq. 1–2).
@@ -794,6 +893,72 @@ mod tests {
             without.df.vfg.interference_edge_count()
                 >= with.df.vfg.interference_edge_count()
         );
+    }
+
+    #[test]
+    fn lock_sharpening_prunes_overwritten_store() {
+        // Both critical sections guard the same (aliased) mutex and a
+        // later unconditional store in the writer's section overwrites
+        // v before the unlock: the r-side load can never observe v, so
+        // that pair is discharged. The final store's edge remains.
+        let src = "fn main() {
+                x = alloc cell; m = alloc mu;
+                v = alloc o1; u = alloc o2;
+                fork t r(x, m);
+                lock m;
+                *x = v;
+                *x = u;
+                unlock m;
+             }
+             fn r(p, n) {
+                lock n;
+                c = *p;
+                use c;
+                unlock n;
+             }";
+        let s = analyze(src);
+        assert!(s.result.mhp_lock_pruned >= 1, "{:?}", s.result);
+        let off = analyze_opts(
+            src,
+            &InterferenceOptions {
+                lock_sharpen: false,
+                ..InterferenceOptions::default()
+            },
+        );
+        assert_eq!(off.result.mhp_lock_pruned, 0);
+        assert!(
+            off.df.vfg.interference_edge_count() > s.df.vfg.interference_edge_count(),
+            "sharpening off must give strictly more edges here"
+        );
+    }
+
+    #[test]
+    fn lock_without_overwrite_is_not_pruned() {
+        // Common lock but the stored value survives the section: naive
+        // common-lock pruning would be unsound — the edge must remain.
+        let s = analyze(
+            "fn main() {
+                x = alloc cell; m = alloc mu; v = alloc o1;
+                fork t r(x, m);
+                lock m;
+                *x = v;
+                unlock m;
+             }
+             fn r(p, n) {
+                lock n;
+                c = *p;
+                use c;
+                unlock n;
+             }",
+        );
+        assert_eq!(s.result.mhp_lock_pruned, 0);
+        assert!(s.df.vfg.interference_edge_count() >= 1);
+    }
+
+    #[test]
+    fn lock_free_programs_are_never_lock_pruned() {
+        let s = analyze(FIG2);
+        assert_eq!(s.result.mhp_lock_pruned, 0);
     }
 
     #[test]

@@ -93,7 +93,17 @@ pub fn explore(prog: &Program, limits: EnumLimits) -> Exploration {
         if !visited.insert((m.clone(), val.clone())) {
             continue;
         }
-        // No ready thread: terminated or deadlocked — either way a leaf.
+        // No ready thread: terminated or deadlocked — either way a
+        // leaf. A deadlock leaf with a lock waits-for cycle is a
+        // concrete conflict-lock hit, keyed by the extreme blocked
+        // acquisition labels (the detector's reporting convention).
+        if ready.is_empty() && !m.all_done() {
+            for cycle in m.lock_cycles(prog, &val) {
+                if let (Some(&lo), Some(&hi)) = (cycle.first(), cycle.last()) {
+                    hits.insert((BugKind::ConflictLock, lo, hi));
+                }
+            }
+        }
         for t in ready {
             let mut child = m.clone();
             if let Some(h) = child.step(prog, t) {

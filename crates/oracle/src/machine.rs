@@ -48,8 +48,11 @@ pub struct HeapCell {
     pub freed: Option<Label>,
     /// The stored value (single-word cells suffice for Fig. 3).
     pub content: Value,
-    /// Mutex state when the cell is used as a lock (§9).
-    pub locked: bool,
+    /// Mutex state when the cell is used as a lock (§9): the owning
+    /// thread and the acquisition label, or `None` when free. Ownership
+    /// lets the machine distinguish self-reacquisition (a double-lock
+    /// hit) from cross-thread contention (blocking).
+    pub owner: Option<(usize, Label)>,
     /// Condition-variable state when used with wait/notify (§9):
     /// `notify` is sticky, matching the order-constraint semantics
     /// (a wait may complete iff some notify already executed).
@@ -167,7 +170,13 @@ impl Machine {
                             }
                         }
                         Inst::Lock { mutex } => match self.env[mutex.index()] {
-                            Value::Addr(a) if self.heap[a].locked => Poll::Blocked(l),
+                            Value::Addr(a)
+                                if self.heap[a]
+                                    .owner
+                                    .is_some_and(|(holder, _)| holder != t) =>
+                            {
+                                Poll::Blocked(l)
+                            }
                             _ => Poll::ReadyAt(l),
                         },
                         Inst::Wait { cv } => match self.env[cv.index()] {
@@ -231,7 +240,7 @@ impl Machine {
                     site: obj,
                     freed: None,
                     content: Value::Uninit,
-                    locked: false,
+                    owner: None,
                     notified: false,
                 });
                 self.env[dst.index()] = Value::Addr(self.heap.len() - 1);
@@ -343,12 +352,27 @@ impl Machine {
             }
             Inst::Lock { mutex } => {
                 if let Value::Addr(a) = self.env[mutex.index()] {
-                    self.heap[a].locked = true;
+                    match self.heap[a].owner {
+                        // Re-acquisition by the owning thread: the
+                        // non-reentrant lock discipline is violated.
+                        // Like double-free, the hit is reported and the
+                        // machine continues (ownership keeps the first
+                        // acquisition), so enumeration stays finite.
+                        Some((holder, first)) if holder == t => {
+                            return Some(Hit {
+                                kind: BugKind::DoubleLock,
+                                source: first,
+                                sink: l,
+                            });
+                        }
+                        Some(_) => {} // poll gates cross-thread contention
+                        None => self.heap[a].owner = Some((t, l)),
+                    }
                 }
             }
             Inst::Unlock { mutex } => {
                 if let Value::Addr(a) = self.env[mutex.index()] {
-                    self.heap[a].locked = false;
+                    self.heap[a].owner = None;
                 }
             }
             Inst::Wait { .. } => {} // poll gated on a prior notify
@@ -373,6 +397,72 @@ impl Machine {
             Inst::Nop => {}
         }
         None
+    }
+
+    /// Detects lock waits-for cycles among the currently blocked
+    /// threads: each thread blocked at a `lock` on a mutex held by
+    /// another thread contributes one waits-for edge, and every cycle
+    /// in that (functional) graph is a concrete deadlock. Returns one
+    /// entry per cycle: the blocked acquisition labels of its threads,
+    /// sorted. Polling normalizes threads but is deterministic, so the
+    /// machine is observationally unchanged for other callers.
+    pub fn lock_cycles(&mut self, prog: &Program, valuation: &Valuation) -> Vec<Vec<Label>> {
+        let n = self.threads.len();
+        // waits_for[t] = (thread holding the mutex t is blocked on,
+        // t's blocked lock label), when t is lock-blocked.
+        let mut waits_for: Vec<Option<(usize, Label)>> = vec![None; n];
+        for (t, w) in waits_for.iter_mut().enumerate() {
+            let Poll::Blocked(l) = self.poll(prog, valuation, t) else {
+                continue;
+            };
+            let Inst::Lock { mutex } = prog.inst(l) else {
+                continue;
+            };
+            if let Value::Addr(a) = self.env[mutex.index()] {
+                if let Some((holder, _)) = self.heap[a].owner {
+                    if holder != t {
+                        *w = Some((holder, l));
+                    }
+                }
+            }
+        }
+        // Each node has at most one outgoing edge: walk successors and
+        // record every cycle once (from its smallest-index member).
+        let mut cycles = Vec::new();
+        let mut color = vec![0u8; n]; // 0 unvisited, 1 on path, 2 done
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut path: Vec<usize> = Vec::new();
+            let mut cur = start;
+            loop {
+                if color[cur] == 1 {
+                    // Found a cycle: the suffix of `path` from `cur`.
+                    let pos = path.iter().position(|&p| p == cur).expect("on path");
+                    let mut labels: Vec<Label> = path[pos..]
+                        .iter()
+                        .map(|&p| waits_for[p].expect("cycle nodes are blocked").1)
+                        .collect();
+                    labels.sort();
+                    cycles.push(labels);
+                    break;
+                }
+                if color[cur] == 2 {
+                    break;
+                }
+                color[cur] = 1;
+                path.push(cur);
+                match waits_for[cur] {
+                    Some((next, _)) => cur = next,
+                    None => break,
+                }
+            }
+            for p in path {
+                color[p] = 2;
+            }
+        }
+        cycles
     }
 
     fn resolve(&self, callee: &Callee) -> Option<FuncId> {

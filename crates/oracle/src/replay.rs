@@ -130,6 +130,17 @@ pub fn replay(
         if m.all_done() {
             return ReplayResult::Failed(ReplayFailure::NoBug { observed });
         }
+        // A conflict-lock witness replays not to a hit but to a stuck
+        // state: the claim is confirmed when the machine is blocked in
+        // a lock waits-for cycle whose extreme acquisition labels are
+        // exactly the reported pair.
+        if kind == BugKind::ConflictLock
+            && m.lock_cycles(prog, &valuation)
+                .iter()
+                .any(|c| c.first() == Some(&source) && c.last() == Some(&sink))
+        {
+            return ReplayResult::Confirmed { steps };
+        }
         return ReplayResult::Failed(ReplayFailure::Deadlock {
             waiting_for: schedule.get(next).copied(),
         });

@@ -55,7 +55,7 @@ pub struct RunManifest {
 
 /// All rules the driver declares, in `ruleIndex` order (the `BugKind`
 /// discriminant order, so `kind as usize` indexes this table).
-const RULES: [(BugKind, &str, &str); 4] = [
+const RULES: [(BugKind, &str, &str); 6] = [
     (
         BugKind::UseAfterFree,
         "UseAfterFree",
@@ -79,6 +79,18 @@ const RULES: [(BugKind, &str, &str); 4] = [
         "DataLeak",
         "Tainted data flows to a public sink along a satisfiable \
          guarded value-flow path.",
+    ),
+    (
+        BugKind::DoubleLock,
+        "DoubleLock",
+        "A non-reentrant lock is re-acquired on a path where its \
+         guard is still live, self-deadlocking the thread.",
+    ),
+    (
+        BugKind::ConflictLock,
+        "ConflictLock",
+        "Two threads acquire the same pair of locks in conflicting \
+         orders; some interleaving blocks both in a cycle.",
     ),
 ];
 
@@ -373,7 +385,7 @@ mod tests {
             .get("driver").unwrap()
             .get("rules").unwrap()
             .as_array().unwrap();
-        assert_eq!(rules.len(), 4);
+        assert_eq!(rules.len(), 6);
         assert_eq!(
             rules[0].get("id").unwrap().as_str().unwrap(),
             "canary/use-after-free"

@@ -56,6 +56,17 @@ mod tests {
     }
 
     #[test]
+    fn lock_workload_truth_is_executable() {
+        let w = generate(&WorkloadSpec::lean_locks(7));
+        let kinds: std::collections::BTreeSet<BugKind> =
+            w.truth.seeded.iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&BugKind::DoubleLock), "{kinds:?}");
+        assert!(kinds.contains(&BugKind::ConflictLock), "{kinds:?}");
+        let failures = confirm_ground_truth(&w);
+        assert!(failures.is_empty(), "unconfirmed: {failures:?}");
+    }
+
+    #[test]
     fn corrupted_schedule_is_rejected() {
         let w = generate(&WorkloadSpec::lean(4));
         let mut bug = w.truth.seeded[0].clone();

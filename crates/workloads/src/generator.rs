@@ -61,8 +61,9 @@ pub struct GroundTruth {
     /// false positives; no label pair is a real bug).
     pub infeasible_patterns: usize,
     /// Every seeded real bug — the UAFs of `uaf_bugs` plus the
-    /// double-free / null-deref / leak patterns — with an oracle
-    /// schedule certifying it is concretely reachable.
+    /// double-free / null-deref / leak / double-lock / conflict-lock
+    /// patterns — with an oracle schedule certifying it is concretely
+    /// reachable.
     pub seeded: Vec<SeededBug>,
 }
 
@@ -176,6 +177,9 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let lk_victims: Vec<FuncId> = (0..spec.leak)
         .map(|i| b.func(&format!("lk_victim_{i}"), &["c"]))
         .collect();
+    let cl_partners: Vec<FuncId> = (0..spec.conflict_lock)
+        .map(|i| b.func(&format!("cl_partner_{i}"), &["x", "y"]))
+        .collect();
 
     // --- helper library ---------------------------------------------
     for (i, &h) in helpers.iter().enumerate() {
@@ -249,6 +253,20 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         let load_l = f.last_label();
         let sink_l = f.taint_sink(x);
         lk_partial.push((load_l, sink_l));
+    }
+    // Conflict-lock partners: acquire the two mutexes in the *opposite*
+    // order from main (y before x). (outer, inner) acquisition pairs;
+    // partner bodies precede main, so their labels sort first.
+    let mut cl_partial: Vec<(Label, Label)> = Vec::new();
+    for &v in &cl_partners {
+        let mut f = b.body(v);
+        let x = f.var("x");
+        let y = f.var("y");
+        let outer = f.lock(y);
+        let inner = f.lock(x);
+        f.unlock(x);
+        f.unlock(y);
+        cl_partial.push((outer, inner));
     }
     for (i, &v) in benign_victims.iter().enumerate() {
         let mut f = b.body(v);
@@ -401,6 +419,42 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: taint_l,
             sink: sink_l,
             schedule: vec![taint_l, store_l, load_l, sink_l],
+        });
+    }
+    // Same-thread double-locks: main re-acquires a mutex it still
+    // holds. The oracle reports the re-acquisition and continues, so
+    // the rest of the program is unaffected.
+    for i in 0..spec.double_lock {
+        let mu = f.alloc(&format!("dlmu_{i}"), &format!("dlmu_o_{i}"));
+        let first = f.lock(mu);
+        let second = f.lock(mu);
+        f.unlock(mu);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::DoubleLock,
+            source: first,
+            sink: second,
+            schedule: vec![first, second],
+        });
+    }
+    // Conflicting acquisition orders: main takes a then b while the
+    // forked partner takes b then a. Replaying outer-outer-inner-inner
+    // drives both threads into the blocked cycle; the (source, sink)
+    // pair is the sorted pair of inner (blocking) acquisitions.
+    for (i, &(p_outer, p_inner)) in cl_partial.iter().enumerate() {
+        let ma = f.alloc(&format!("clma_{i}"), &format!("clma_o_{i}"));
+        let mb = f.alloc(&format!("clmb_{i}"), &format!("clmb_o_{i}"));
+        f.fork(&format!("clt_{i}"), &format!("cl_partner_{i}"), &[ma, mb]);
+        let m_outer = f.lock(ma);
+        let m_inner = f.lock(mb);
+        f.unlock(mb);
+        f.unlock(ma);
+        let source = p_inner.min(m_inner);
+        let sink = p_inner.max(m_inner);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::ConflictLock,
+            source,
+            sink,
+            schedule: vec![p_outer.min(m_outer), p_outer.max(m_outer), source, sink],
         });
     }
     // Benign patterns: the free is guarded by an *independent* atom.

@@ -52,6 +52,12 @@ pub struct WorkloadSpec {
     /// Seeded taint leaks: main publishes a taint source into a cell; a
     /// forked reader passes the loaded value to a sink.
     pub leak: usize,
+    /// Seeded same-thread double-locks: main re-acquires a mutex it
+    /// already holds.
+    pub double_lock: usize,
+    /// Seeded conflicting-lock-order pairs: main and a forked partner
+    /// acquire two mutexes in opposite orders (deadlock-capable).
+    pub conflict_lock: usize,
     /// Emit the size filler (helper library, `pick` conflation, worker
     /// threads, alias webs, statement filler). Disable for *lean*
     /// workloads small enough for the oracle's exhaustive interleaving
@@ -76,6 +82,8 @@ impl WorkloadSpec {
             double_free: 0,
             null_deref: 0,
             leak: 0,
+            double_lock: 0,
+            conflict_lock: 0,
             filler: true,
         }
     }
@@ -100,6 +108,32 @@ impl WorkloadSpec {
             double_free: 1,
             null_deref: 1,
             leak: 1,
+            double_lock: 0,
+            conflict_lock: 0,
+            filler: false,
+        }
+    }
+
+    /// A filler-free spec seeding only the lock-discipline patterns
+    /// (double-lock and conflicting-lock-order), small enough for the
+    /// oracle's exhaustive interleaving enumeration.
+    pub fn lean_locks(seed: u64) -> Self {
+        WorkloadSpec {
+            name: format!("lean-locks-{seed}"),
+            seed,
+            target_stmts: 0,
+            threads: 0,
+            shared_cells: 1,
+            true_bugs: 0,
+            benign_patterns: 0,
+            contradiction_patterns: 0,
+            handshake_patterns: 0,
+            order_fp_patterns: 0,
+            double_free: 0,
+            null_deref: 0,
+            leak: 0,
+            double_lock: 1,
+            conflict_lock: 1,
             filler: false,
         }
     }
@@ -192,6 +226,8 @@ pub fn table1_suite(scale: SuiteScale) -> Vec<WorkloadSpec> {
                 double_free: 0,
                 null_deref: 0,
                 leak: 0,
+                double_lock: 0,
+                conflict_lock: 0,
                 filler: true,
             }
         })

@@ -5,8 +5,8 @@
 //! canary diff <baseline.sarif> <current.sarif>
 //!
 //! options:
-//!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak
-//!                         (default: all four)
+//!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak,
+//!                         doublelock,conflictlock (default: all six)
 //!   --inter-thread-only   report only witnesses spanning threads
 //!   --format FMT          stdout format: text (default), json or sarif
 //!   --json                shorthand for --format json
@@ -69,7 +69,8 @@ const TOP_K: usize = 5;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: canary <program.cir> [--checkers uaf,doublefree,nullderef,leak] \
+        "usage: canary <program.cir> \
+         [--checkers uaf,doublefree,nullderef,leak,doublelock,conflictlock] \
          [--inter-thread-only] [--format text|json|sarif] [--json] \
          [--json-out FILE] [--sarif-out FILE] [--baseline FILE] \
          [--no-mhp] [--no-sync] [--no-prefilter] \
@@ -132,6 +133,10 @@ fn parse_args(args: &[String]) -> Cli {
                         "doublefree" | "double-free" | "df" => BugKind::DoubleFree,
                         "nullderef" | "null" => BugKind::NullDeref,
                         "leak" | "taint" => BugKind::DataLeak,
+                        "doublelock" | "double-lock" | "dl" => BugKind::DoubleLock,
+                        "conflictlock" | "conflict-lock" | "deadlock" => {
+                            BugKind::ConflictLock
+                        }
                         other => {
                             eprintln!("unknown checker `{other}`");
                             usage()
@@ -635,6 +640,7 @@ fn json_document(
                 "vfg_nodes": m.vfg_nodes,
                 "vfg_edges": m.vfg_edges,
                 "interference_edges": m.interference_edges,
+                "mhp_lock_pruned": m.mhp_lock_pruned,
                 "escaped_objects": m.escaped_objects,
                 "candidate_paths": m.detect.candidate_paths,
                 "reports_deduped": m.reports_deduped,
@@ -718,7 +724,8 @@ fn print_text_output(
             let m = &outcome.metrics;
             println!(
                 "\nstats: {} stmts, {} threads | vfg {} nodes / {} edges \
-                 ({} interference) | {} escaped objects | {} paths, {} queries | \
+                 ({} interference, {} lock-pruned) | {} escaped objects | \
+                 {} paths, {} queries | \
                  {} workers: dataflow {:.1} ms ({} tasks), \
                  interference {:.1} ms ({} tasks), detect {:.1} ms",
                 m.stmt_count,
@@ -726,6 +733,7 @@ fn print_text_output(
                 m.vfg_nodes,
                 m.vfg_edges,
                 m.interference_edges,
+                m.mhp_lock_pruned,
                 m.escaped_objects,
                 m.detect.candidate_paths,
                 m.detect.queries,

@@ -32,6 +32,8 @@ fn workload(bugs: usize, benign: usize, contra: usize, hs: usize, order_fp: usiz
         double_free: 0,
         null_deref: 0,
         leak: 0,
+        double_lock: 0,
+        conflict_lock: 0,
         filler: true,
     })
 }

@@ -221,6 +221,171 @@ mod data_leak {
     }
 }
 
+mod double_lock {
+    use super::*;
+
+    #[test]
+    fn reacquisition_through_alias_reported() {
+        let src = "fn main() { m = alloc mu; n = m; lock m; lock n; unlock n; }";
+        assert_eq!(reports(src, BugKind::DoubleLock), 1);
+    }
+
+    #[test]
+    fn unlock_between_acquisitions_safe() {
+        let src = "fn main() { m = alloc mu; lock m; unlock m; lock m; unlock m; }";
+        assert_eq!(reports(src, BugKind::DoubleLock), 0);
+    }
+
+    #[test]
+    fn distinct_mutexes_safe() {
+        let src = "fn main() { a = alloc ma; b = alloc mb; lock a; lock b; unlock b; unlock a; }";
+        assert_eq!(reports(src, BugKind::DoubleLock), 0);
+    }
+
+    #[test]
+    fn cross_thread_contention_safe() {
+        // The parent holds the mutex across the fork while the child
+        // acquires it: contention blocks, it does not re-acquire.
+        let src = "fn main() { m = alloc mu; lock m; fork t w(m); unlock m; join t; }
+                   fn w(n) { lock n; unlock n; }";
+        assert_eq!(reports(src, BugKind::DoubleLock), 0);
+    }
+}
+
+mod conflict_lock {
+    use super::*;
+
+    #[test]
+    fn opposite_acquisition_orders_reported() {
+        let src = "fn main() {
+                       a = alloc ma; b = alloc mb;
+                       fork t w(a, b);
+                       lock a; lock b; unlock b; unlock a;
+                       join t;
+                   }
+                   fn w(x, y) { lock y; lock x; unlock x; unlock y; }";
+        assert_eq!(reports(src, BugKind::ConflictLock), 1);
+    }
+
+    #[test]
+    fn consistent_acquisition_orders_safe() {
+        let src = "fn main() {
+                       a = alloc ma; b = alloc mb;
+                       fork t w(a, b);
+                       lock a; lock b; unlock b; unlock a;
+                       join t;
+                   }
+                   fn w(x, y) { lock x; lock y; unlock y; unlock x; }";
+        assert_eq!(reports(src, BugKind::ConflictLock), 0);
+    }
+
+    #[test]
+    fn join_serialized_orders_safe() {
+        let src = "fn main() {
+                       a = alloc ma; b = alloc mb;
+                       fork t w(a, b);
+                       join t;
+                       lock a; lock b; unlock b; unlock a;
+                   }
+                   fn w(x, y) { lock y; lock x; unlock x; unlock y; }";
+        assert_eq!(reports(src, BugKind::ConflictLock), 0);
+    }
+
+    #[test]
+    fn gate_lock_safe() {
+        // A common outer gate mutex serializes both acquisition
+        // sequences, so the opposite inner orders cannot interleave.
+        let src = "fn main() {
+                       g = alloc mg; a = alloc ma; b = alloc mb;
+                       fork t w(g, a, b);
+                       lock g; lock a; lock b; unlock b; unlock a; unlock g;
+                       join t;
+                   }
+                   fn w(h, x, y) { lock h; lock y; lock x; unlock x; unlock y; unlock h; }";
+        assert_eq!(reports(src, BugKind::ConflictLock), 0);
+    }
+}
+
+mod generated_lock_workloads {
+    use super::*;
+    use canary_workloads::{confirm_ground_truth, generate, WorkloadSpec};
+
+    /// Lock corpora: the engine's lock findings are *exactly* the
+    /// seeded set — every seeded double-lock / deadlock reported, no
+    /// lock report beyond them.
+    #[test]
+    fn seeded_lock_bugs_are_the_exact_finding_set() {
+        for seed in [11, 12, 13] {
+            let w = generate(&WorkloadSpec::lean_locks(seed));
+            let unconfirmed = confirm_ground_truth(&w);
+            assert!(unconfirmed.is_empty(), "seed {seed}: {unconfirmed:?}");
+            let outcome = Canary::new().analyze(&w.prog);
+            let found: std::collections::BTreeSet<_> = outcome
+                .reports
+                .iter()
+                .filter(|r| {
+                    matches!(r.kind, BugKind::DoubleLock | BugKind::ConflictLock)
+                })
+                .map(|r| (r.kind, r.source, r.sink))
+                .collect();
+            let seeded: std::collections::BTreeSet<_> = w
+                .truth
+                .seeded
+                .iter()
+                .filter(|b| {
+                    matches!(b.kind, BugKind::DoubleLock | BugKind::ConflictLock)
+                })
+                .map(|b| (b.kind, b.source, b.sink))
+                .collect();
+            assert_eq!(seeded.len(), 2, "seed {seed}: both lock kinds seeded");
+            assert_eq!(found, seeded, "seed {seed}");
+        }
+    }
+
+    /// Zero false positives on lock-free corpora: programs without a
+    /// single lock statement never produce a lock-discipline report.
+    #[test]
+    fn lock_free_corpora_stay_clean() {
+        for seed in [1, 2, 3] {
+            let w = generate(&WorkloadSpec::lean(seed));
+            let outcome = Canary::new().analyze(&w.prog);
+            let lock_reports: Vec<_> = outcome
+                .reports
+                .iter()
+                .filter(|r| {
+                    matches!(r.kind, BugKind::DoubleLock | BugKind::ConflictLock)
+                })
+                .collect();
+            assert!(lock_reports.is_empty(), "seed {seed}: {lock_reports:?}");
+        }
+    }
+
+    /// The lock knobs compose with the full (filler) generator.
+    #[test]
+    fn seeded_lock_patterns_survive_filler() {
+        let spec = WorkloadSpec {
+            double_lock: 1,
+            conflict_lock: 1,
+            ..WorkloadSpec::small(29)
+        };
+        let w = generate(&spec);
+        let unconfirmed = confirm_ground_truth(&w);
+        assert!(unconfirmed.is_empty(), "{unconfirmed:?}");
+        let outcome = Canary::new().analyze(&w.prog);
+        let found: std::collections::HashSet<_> = outcome
+            .reports
+            .iter()
+            .map(|r| (r.kind, r.source, r.sink))
+            .collect();
+        for bug in &w.truth.seeded {
+            assert!(
+                found.contains(&(bug.kind, bug.source, bug.sink)),
+                "seeded {bug:?} not in reports {found:?}"
+            );
+        }
+    }
+}
+
 mod generated_workloads {
     use super::*;
     use canary_workloads::{confirm_ground_truth, generate, WorkloadSpec};
@@ -324,5 +489,36 @@ mod config_behaviour {
         assert!(kinds.contains(&BugKind::DoubleFree), "{kinds:?}");
         assert!(kinds.contains(&BugKind::NullDeref), "{kinds:?}");
         assert!(kinds.contains(&BugKind::DataLeak), "{kinds:?}");
+    }
+
+    #[test]
+    fn all_six_checkers_fire_on_one_program() {
+        let src = "fn main() {
+                       p = alloc o; q = p;
+                       fork t w(p);
+                       free p;
+                       free q;
+                       n = null; use n;
+                       s = taint; sink s;
+                       m = alloc mu; lock m; lock m; unlock m;
+                       a = alloc ma; b = alloc mb;
+                       fork t2 v(a, b);
+                       lock a; lock b; unlock b; unlock a;
+                   }
+                   fn w(x) { use x; }
+                   fn v(x, y) { lock y; lock x; unlock x; unlock y; }";
+        let outcome = Canary::new().analyze_source(src).unwrap();
+        let kinds: std::collections::HashSet<_> =
+            outcome.reports.iter().map(|r| r.kind).collect();
+        for kind in [
+            BugKind::UseAfterFree,
+            BugKind::DoubleFree,
+            BugKind::NullDeref,
+            BugKind::DataLeak,
+            BugKind::DoubleLock,
+            BugKind::ConflictLock,
+        ] {
+            assert!(kinds.contains(&kind), "missing {kind}: {kinds:?}");
+        }
     }
 }

@@ -82,6 +82,8 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
             double_free: df,
             null_deref: 1,
             leak: 0,
+            double_lock: 1,
+            conflict_lock: 1,
             filler: true,
         },
     )
@@ -336,6 +338,45 @@ fn fingerprints_are_stable_under_line_shifts() {
         run(shifted, "stable_shifted.cir"),
         "fingerprint must survive label renumbering"
     );
+}
+
+#[test]
+fn lock_fingerprints_are_stable_under_line_shifts() {
+    // Same discipline bugs with filler spliced above them: every label
+    // moves, the fingerprints must not. Covers both lock checkers.
+    let run = |src: &str, name: &str, checkers: &str| -> Vec<String> {
+        let path = temp(name, src);
+        let out = canary_bin()
+            .arg(&path)
+            .args(["--checkers", checkers, "--json"])
+            .output()
+            .unwrap();
+        let doc: Value = serde_json::from_slice(&out.stdout).unwrap();
+        doc["reports"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r["fingerprint"].as_str().unwrap().to_string())
+            .collect()
+    };
+    let dl_base = "fn main() { m = alloc mu; lock m; lock m; unlock m; }";
+    let dl_shifted = "fn main() { z1 = alloc filler; z2 = alloc filler2; \
+                      m = alloc mu; lock m; lock m; unlock m; }";
+    let dl_a = run(dl_base, "dl_base.cir", "doublelock");
+    let dl_b = run(dl_shifted, "dl_shifted.cir", "doublelock");
+    assert_eq!(dl_a.len(), 1, "{dl_a:?}");
+    assert_eq!(dl_a, dl_b, "double-lock fingerprint must survive label renumbering");
+    let cl_base = "fn main() { a = alloc ma; b = alloc mb; fork t w(a, b); \
+                   lock a; lock b; unlock b; unlock a; }\n\
+                   fn w(x, y) { lock y; lock x; unlock x; unlock y; }";
+    let cl_shifted = "fn main() { z1 = alloc filler; z2 = alloc filler2; \
+                      a = alloc ma; b = alloc mb; fork t w(a, b); \
+                      lock a; lock b; unlock b; unlock a; }\n\
+                      fn w(x, y) { lock y; lock x; unlock x; unlock y; }";
+    let cl_a = run(cl_base, "cl_base.cir", "conflictlock");
+    let cl_b = run(cl_shifted, "cl_shifted.cir", "conflictlock");
+    assert_eq!(cl_a.len(), 1, "{cl_a:?}");
+    assert_eq!(cl_a, cl_b, "conflict-lock fingerprint must survive label renumbering");
 }
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,8 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 double_free: df,
                 null_deref: 1,
                 leak: 0,
+                double_lock: 0,
+                conflict_lock: 0,
                 filler: true,
             },
         )
