@@ -13,6 +13,25 @@ cargo clippy --workspace --offline -- -D warnings
 cargo test -q --offline --test oracle_differential
 CANARY_TEST_THREADS=2 cargo test -q --offline --test oracle_differential
 CANARY_TEST_THREADS=2 cargo test -q --workspace --offline
+# Memory-model differential gates: the store-buffer oracle must
+# certify every finding on the litmus corpus under all three models
+# (the suite sweeps sc/tso/pso internally), serially and with the
+# parallel front-end; the detector-level model tests ride along.
+cargo test -q --offline --test memory_model_differential
+CANARY_TEST_THREADS=2 cargo test -q --offline --test memory_model_differential
+cargo test -q --offline --test memory_models
+# Store-buffering litmus smoke: the Dekker-style double free replays
+# on the store-buffer machine under tso/pso but has no SC witness, so
+# --verify-witnesses separates the models at the CLI level.
+./target/release/canary examples/tso_sb.cir --checkers doublefree \
+    --memory-model sc --verify-witnesses > /tmp/canary_sb_sc.out || [ $? -eq 1 ]
+grep -q 'witness verification: 0/1' /tmp/canary_sb_sc.out
+for model in tso pso; do
+    ./target/release/canary examples/tso_sb.cir --checkers doublefree \
+        --memory-model "$model" --verify-witnesses \
+        > "/tmp/canary_sb_$model.out" || [ $? -eq 1 ]
+    grep -q 'witness verification: 1/1' "/tmp/canary_sb_$model.out"
+done
 # Trace smoke: the profiler must emit a parseable Chrome trace covering
 # all three phases plus at least one per-SMT-query span, and the trace
 # must stay byte-deterministic across worker counts (timing normalized).
@@ -114,4 +133,32 @@ for r in run["results"]:
 else
     grep -q '"canary/double-lock"' /tmp/canary_deadlock.sarif
     grep -q '"canary/conflict-lock"' /tmp/canary_deadlock.sarif
+fi
+# Store-buffer litmus SARIF smoke: the tso run of the SB example must
+# validate against the schema, report the double free, and record the
+# memory model in the run manifest.
+./target/release/canary examples/tso_sb.cir --memory-model tso --format sarif \
+    > /tmp/canary_tso_sb.sarif || [ $? -eq 1 ]  # exit 1 = bug reported
+if python3 -c 'import jsonschema' 2>/dev/null; then
+    python3 -c '
+import json, jsonschema
+doc = json.load(open("/tmp/canary_tso_sb.sarif"))
+schema = json.load(open("docs/sarif-2.1.0-minimal.schema.json"))
+jsonschema.validate(doc, schema)
+run = doc["runs"][0]
+rules = [r["ruleId"] for r in run["results"]]
+assert "canary/double-free" in rules, rules
+assert run["invocations"][0]["properties"]["config"]["memory_model"] == "tso"'
+elif command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+doc = json.load(open("/tmp/canary_tso_sb.sarif"))
+assert doc["version"] == "2.1.0"
+run = doc["runs"][0]
+rules = [r["ruleId"] for r in run["results"]]
+assert "canary/double-free" in rules, rules
+assert run["invocations"][0]["properties"]["config"]["memory_model"] == "tso"'
+else
+    grep -q '"canary/double-free"' /tmp/canary_tso_sb.sarif
+    grep -q '"memory_model": "tso"' /tmp/canary_tso_sb.sarif
 fi

@@ -167,6 +167,9 @@ fn main() {
             leak: 2,
             double_lock: 1,
             conflict_lock: 1,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
             filler: true,
         },
         WorkloadSpec {
@@ -185,6 +188,9 @@ fn main() {
             leak: 1,
             double_lock: 1,
             conflict_lock: 2,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
             filler: true,
         },
     ];

@@ -414,9 +414,13 @@ impl Canary {
         metrics.term_count = pool.len();
         metrics.query_profiles = query_profiles;
         let witness_replays = if self.config.verify_witnesses {
+            // Replay runs under the same memory model the detector
+            // analyzed: a TSO/PSO witness may invert program order and
+            // only the store-buffer machine can realize it.
+            let model = self.config.detect.memory_model;
             let replays: Vec<canary_oracle::ReplayResult> = reports
                 .iter()
-                .map(|r| canary_oracle::replay_report(prog, r))
+                .map(|r| canary_oracle::replay_report_under(prog, model, r))
                 .collect();
             metrics.witnesses_checked = replays.len();
             metrics.witnesses_confirmed = replays.iter().filter(|r| r.confirmed()).count();

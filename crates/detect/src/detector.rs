@@ -31,7 +31,7 @@ use crate::sync::SyncModel;
 /// The location check is syntactic (address variables), a documented
 /// approximation: two different pointer variables to the same object
 /// are treated as different locations, erring toward reporting.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum MemoryModel {
     /// Sequential consistency (§3.1, the paper's base model).
     #[default]
@@ -528,6 +528,7 @@ fn validate(
             let schedule = crate::schedule::complete_schedule(
                 ctx.prog,
                 ctx.mhp.order_graph(),
+                opts.memory_model,
                 &witness,
                 cand.report.source,
                 cand.report.sink,
@@ -1193,7 +1194,7 @@ fn build_provenance(ctx: &DetectContext<'_>, pool: &TermPool, p: &VfPath) -> Pro
 /// `a <P b` pairs the model still enforces. Only same-function pairs
 /// are ever relaxed — cross-function order comes from calls and
 /// fork/join synchronization, which every model preserves.
-fn order_policy(
+pub(crate) fn order_policy(
     prog: &Program,
     model: MemoryModel,
 ) -> impl Fn(Label, Label) -> bool + '_ {

@@ -13,6 +13,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use canary_ir::{Label, OrderGraph, Program};
 
+use crate::detector::MemoryModel;
+
 /// Completes a raw SMT witness into a replayable schedule.
 ///
 /// The returned sequence contains the witness events, the report's
@@ -21,13 +23,18 @@ use canary_ir::{Label, OrderGraph, Program};
 /// their join), in one total order that respects:
 ///
 /// 1. the model's witness order (`witness[i]` before `witness[i+1]`),
-/// 2. the interprocedural program order `<P` of Defn. 2(2).
+/// 2. the program-order pairs the memory model retains — under TSO/PSO
+///    the witness may legitimately invert a relaxed store→load or
+///    store→store pair (the store's schedule slot is then its *flush*
+///    point on the store-buffer oracle), so relaxed pairs contribute no
+///    edge and the witness chain alone decides their order.
 ///
 /// Linearization is Kahn's algorithm with smallest-label tie-breaking,
 /// so the result is deterministic.
 pub fn complete_schedule(
     prog: &Program,
     og: &OrderGraph,
+    model: MemoryModel,
     witness: &[Label],
     source: Label,
     sink: Label,
@@ -68,14 +75,17 @@ pub fn complete_schedule(
             *indeg.get_mut(&b).expect("edge target is an event") += 1;
         }
     };
+    let keep = crate::detector::order_policy(prog, model);
     let evs: Vec<Label> = events.iter().copied().collect();
     for (i, &a) in evs.iter().enumerate() {
         for &b in &evs[i + 1..] {
             // `happens_before` both ways means the labels were merged by
-            // context cloning; skip to keep the graph acyclic.
+            // context cloning; skip to keep the graph acyclic. Pairs the
+            // memory model relaxes contribute no edge either — the
+            // witness chain is free to invert them.
             match (og.happens_before(a, b), og.happens_before(b, a)) {
-                (true, false) => add_edge(a, b, &mut succs, &mut indeg),
-                (false, true) => add_edge(b, a, &mut succs, &mut indeg),
+                (true, false) if keep(a, b) => add_edge(a, b, &mut succs, &mut indeg),
+                (false, true) if keep(b, a) => add_edge(b, a, &mut succs, &mut indeg),
                 _ => {}
             }
         }
@@ -140,7 +150,7 @@ mod tests {
         let og = OrderGraph::build(&prog, &cg);
         let free = prog.free_sites()[0];
         let deref = prog.deref_sites()[0];
-        let sched = complete_schedule(&prog, &og, &[free, deref], free, deref);
+        let sched = complete_schedule(&prog, &og, MemoryModel::Sc, &[free, deref], free, deref);
         let fork = prog.threads[1].fork_site.unwrap();
         let pos = |l: Label| sched.iter().position(|&x| x == l).unwrap();
         assert!(sched.contains(&fork), "{sched:?}");
@@ -159,7 +169,7 @@ mod tests {
         let free = prog.free_sites()[0];
         let deref = prog.deref_sites()[0];
         // Witness says use-then-free (the only feasible order here).
-        let sched = complete_schedule(&prog, &og, &[deref, free], deref, free);
+        let sched = complete_schedule(&prog, &og, MemoryModel::Sc, &[deref, free], deref, free);
         let join = prog.threads[1].join_site.unwrap();
         let pos = |l: Label| sched.iter().position(|&x| x == l).unwrap();
         assert!(sched.contains(&join), "{sched:?}");
@@ -176,7 +186,7 @@ mod tests {
         let og = OrderGraph::build(&prog, &cg);
         let free = prog.free_sites()[0];
         let deref = prog.deref_sites()[0];
-        let sched = complete_schedule(&prog, &og, &[free, deref, free], free, deref);
+        let sched = complete_schedule(&prog, &og, MemoryModel::Sc, &[free, deref, free], free, deref);
         let set: BTreeSet<Label> = sched.iter().copied().collect();
         assert_eq!(set.len(), sched.len());
     }

@@ -13,6 +13,13 @@
 //!   of small programs up to a configurable bound, certifying
 //!   refutations (the Fig. 2 pattern concretely never fires) and
 //!   powering the differential harness's bounded-soundness check.
+//! * Both have `_under` variants ([`replay_under`], [`explore_under`])
+//!   that run the machine with per-thread store buffers, giving TSO and
+//!   PSO their operational reading: stores drain at explicit scheduler
+//!   events, so a weak-memory-only bug (store buffering, PSO message
+//!   passing) is concretely reachable here and concretely *unreachable*
+//!   under the SC machine — the differential harness certifies both
+//!   directions.
 //!
 //! The machine is intentionally simple: one-word heap cells, opaque
 //! arithmetic, sticky notifies. It does not model integer values —
@@ -29,6 +36,11 @@ pub mod enumerate;
 pub mod machine;
 pub mod replay;
 
-pub use enumerate::{explore, EnumLimits, Exploration};
-pub use machine::{Frame, HeapCell, Hit, Machine, Poll, ThreadState, Valuation, Value};
-pub use replay::{replay, replay_report, schedule_duplicates, ReplayFailure, ReplayResult};
+pub use enumerate::{explore, explore_under, EnumLimits, Exploration};
+pub use machine::{
+    BufferedStore, Frame, HeapCell, Hit, Machine, Poll, ThreadState, Valuation, Value,
+};
+pub use replay::{
+    replay, replay_report, replay_report_under, replay_under, schedule_duplicates, ReplayFailure,
+    ReplayResult,
+};

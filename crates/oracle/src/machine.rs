@@ -5,10 +5,23 @@
 //! address, the `p = null` that produced a null, the taint source that
 //! produced a secret — so a bug firing concretely can name the exact
 //! source/sink statement pair the static report claimed.
+//!
+//! Under `MemoryModel::Sc` the machine is a plain interleaving
+//! interpreter. Under TSO/PSO each thread additionally owns a FIFO
+//! *store buffer*: `store` enqueues instead of writing shared memory,
+//! the thread's own `load`s snoop the buffer (store forwarding), and a
+//! pending store becomes globally visible only at an explicit
+//! [`Machine::flush`] — a scheduler event the enumerator and replayer
+//! interleave with statement steps. TSO drains strictly in order; PSO
+//! preserves order per location only. Every instruction that is not a
+//! plain load or store (fork/join, lock/unlock, wait/notify, free,
+//! deref, sink, call, return) acts as a fence and drains the executing
+//! thread's buffer first, matching the detector's retention policy,
+//! which only ever relaxes store→load and store→store pairs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 
-use canary_detect::BugKind;
+use canary_detect::{BugKind, MemoryModel};
 use canary_ir::{
     Callee, CondExpr, CondId, Cursor, FuncId, Inst, Label, ObjId, Program, StepPoint, Terminator,
     VarId,
@@ -90,8 +103,25 @@ pub enum Poll {
     /// The thread is stuck at the labeled instruction (join of a live
     /// thread, lock of a held mutex, wait without a notify).
     Blocked(Label),
+    /// The thread is about to leave a function (or finish) but still
+    /// has pending buffered stores: cross-function program order is
+    /// retained under every memory model, so the scheduler must flush
+    /// the buffer before the frame can pop. Never surfaces under SC.
+    NeedsFlush,
     /// The thread finished, or was never forked.
     Done,
+}
+
+/// One pending store in a thread's store buffer: the write is held
+/// privately until a flush publishes it to shared memory.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct BufferedStore {
+    /// The heap cell the store targets.
+    pub cell: usize,
+    /// The value to publish.
+    pub value: Value,
+    /// The store instruction's label (replay steers flush points by it).
+    pub label: Label,
 }
 
 /// A concrete bug occurrence: the claimed source/sink pair fired.
@@ -116,16 +146,31 @@ pub struct Machine {
     pub heap: Vec<HeapCell>,
     /// Thread table aligned with `prog.threads`.
     pub threads: Vec<ThreadState>,
+    /// The memory model the machine executes under.
+    pub model: MemoryModel,
+    /// Per-thread store buffers, aligned with `threads`. Always empty
+    /// under SC; under TSO/PSO they are part of the machine state, so
+    /// exact-state memoization keys on pending-store contents too.
+    pub buffers: Vec<Vec<BufferedStore>>,
 }
 
 impl Machine {
     /// The initial state: main ready at the entry function, every other
-    /// thread unforked.
+    /// thread unforked. Executes under sequential consistency.
     ///
     /// # Panics
     ///
     /// Panics if the program has no entry function.
     pub fn boot(prog: &Program) -> Machine {
+        Machine::boot_under(prog, MemoryModel::Sc)
+    }
+
+    /// [`Machine::boot`] under an explicit memory model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no entry function.
+    pub fn boot_under(prog: &Program, model: MemoryModel) -> Machine {
         let entry = prog.entry.expect("program has an entry function");
         let mut threads = vec![ThreadState::Unforked; prog.threads.len()];
         threads[0] = ThreadState::Ready(vec![Frame {
@@ -135,7 +180,64 @@ impl Machine {
         Machine {
             env: vec![Value::Uninit; prog.vars.len()],
             heap: Vec::new(),
+            buffers: vec![Vec::new(); prog.threads.len()],
             threads,
+            model,
+        }
+    }
+
+    /// The indices into thread `t`'s store buffer that may drain next.
+    /// TSO: strictly the oldest entry. PSO: the oldest entry *per
+    /// location* — cross-location drains commute freely.
+    pub fn flush_choices(&self, t: usize) -> Vec<usize> {
+        let buf = &self.buffers[t];
+        match self.model {
+            MemoryModel::Sc => Vec::new(),
+            MemoryModel::Tso => {
+                if buf.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0]
+                }
+            }
+            MemoryModel::Pso => {
+                let mut seen: HashSet<usize> = HashSet::new();
+                let mut out = Vec::new();
+                for (i, b) in buf.iter().enumerate() {
+                    if seen.insert(b.cell) {
+                        out.push(i);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Publishes the pending store at buffer index `idx` of thread `t`
+    /// to shared memory and returns its store label. The index must be
+    /// one of [`Machine::flush_choices`] — draining out of model order
+    /// would forge an unreachable memory state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a legal flush choice.
+    pub fn flush(&mut self, t: usize, idx: usize) -> Label {
+        debug_assert!(
+            self.flush_choices(t).contains(&idx),
+            "flush({t}, {idx}) is not a legal drain under {:?}",
+            self.model
+        );
+        let b = self.buffers[t].remove(idx);
+        self.heap[b.cell].content = b.value;
+        b.label
+    }
+
+    /// Drains thread `t`'s entire buffer in enqueue order (a fence).
+    /// Per-location order is preserved, so the resulting memory state
+    /// is the unique fully-drained one.
+    fn drain(&mut self, t: usize) {
+        for b in std::mem::take(&mut self.buffers[t]) {
+            self.heap[b.cell].content = b.value;
         }
     }
 
@@ -207,6 +309,14 @@ impl Machine {
                     frame.cursor.jump(if taken { then_blk } else { else_blk });
                 }
                 StepPoint::Term(Terminator::Exit) => {
+                    // Falling off a function's end returns control (or
+                    // ends the thread). Cross-function program order is
+                    // retained under every model, so pending stores
+                    // must drain before the frame pops — the scheduler
+                    // owns the flush, not normalization.
+                    if !self.buffers[t].is_empty() {
+                        return Poll::NeedsFlush;
+                    }
                     stack.pop();
                     if stack.is_empty() {
                         self.threads[t] = ThreadState::Done;
@@ -234,6 +344,13 @@ impl Machine {
         };
         let inst = inst.clone();
         frame.cursor.advance();
+        // Everything except a plain load/store is a fence: the
+        // detector's retention policy only relaxes store→load and
+        // store→store pairs, so any other instruction observes the
+        // thread's pending stores as already published.
+        if is_fence(&inst) {
+            self.drain(t);
+        }
         match inst {
             Inst::Alloc { dst, obj } => {
                 self.heap.push(HeapCell {
@@ -249,13 +366,28 @@ impl Machine {
             Inst::Copy { dst, src } => self.env[dst.index()] = self.env[src.index()],
             Inst::Load { dst, addr } => {
                 self.env[dst.index()] = match self.env[addr.index()] {
-                    Value::Addr(a) => self.heap[a].content,
+                    // Store forwarding: the thread's own latest pending
+                    // store to the cell wins over shared memory.
+                    Value::Addr(a) => self.buffers[t]
+                        .iter()
+                        .rev()
+                        .find(|b| b.cell == a)
+                        .map_or(self.heap[a].content, |b| b.value),
                     _ => Value::Opaque,
                 };
             }
             Inst::Store { addr, src } => {
                 if let Value::Addr(a) = self.env[addr.index()] {
-                    self.heap[a].content = self.env[src.index()];
+                    let v = self.env[src.index()];
+                    if self.model == MemoryModel::Sc {
+                        self.heap[a].content = v;
+                    } else {
+                        self.buffers[t].push(BufferedStore {
+                            cell: a,
+                            value: v,
+                            label: l,
+                        });
+                    }
                 }
             }
             Inst::Bin { dst, .. } | Inst::Un { dst, .. } => {
@@ -465,6 +597,11 @@ impl Machine {
         cycles
     }
 
+    /// Whether thread `t` has pending buffered stores.
+    pub fn has_pending(&self, t: usize) -> bool {
+        !self.buffers[t].is_empty()
+    }
+
     fn resolve(&self, callee: &Callee) -> Option<FuncId> {
         match callee {
             Callee::Direct(f) => Some(*f),
@@ -474,6 +611,27 @@ impl Machine {
             },
         }
     }
+}
+
+/// Whether executing `inst` drains the thread's store buffer first.
+/// Only plain loads and stores are relaxed by TSO/PSO; every other
+/// instruction — synchronization, heap lifetime events, calls and
+/// returns, observable sinks — keeps its program order against earlier
+/// stores, which operationally means it fences them.
+pub(crate) fn is_fence(inst: &Inst) -> bool {
+    !matches!(
+        inst,
+        Inst::Load { .. }
+            | Inst::Store { .. }
+            | Inst::Copy { .. }
+            | Inst::Bin { .. }
+            | Inst::Un { .. }
+            | Inst::AssignNull { .. }
+            | Inst::TaintSource { .. }
+            | Inst::FuncAddr { .. }
+            | Inst::Alloc { .. }
+            | Inst::Nop
+    )
 }
 
 #[cfg(test)]
@@ -535,6 +693,49 @@ mod tests {
         let (m, hits) = run_single("fn main() { p = alloc o; use p; free p; }");
         assert!(m.all_done());
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn exit_with_pending_stores_needs_flush() {
+        let prog = parse("fn main() { c = alloc o; n = null; *c = n; }").unwrap();
+        prog.validate().unwrap();
+        let mut m = Machine::boot_under(&prog, MemoryModel::Tso);
+        let val = Valuation::new();
+        while let Poll::ReadyAt(_) = m.poll(&prog, &val, 0) {
+            assert!(m.step(&prog, 0).is_none());
+        }
+        // The store is still buffered: the frame cannot pop.
+        assert_eq!(m.poll(&prog, &val, 0), Poll::NeedsFlush);
+        assert!(m.has_pending(0));
+        assert_eq!(m.flush_choices(0), vec![0]);
+        m.flush(0, 0);
+        assert!(matches!(m.heap[0].content, Value::Null(_)));
+        assert_eq!(m.poll(&prog, &val, 0), Poll::Done);
+        assert!(m.all_done());
+    }
+
+    #[test]
+    fn pso_drains_per_location_tso_in_order() {
+        let prog = parse(
+            "fn main() { c = alloc o1; d = alloc o2; n = null;
+                         *c = n; *d = n; *c = c; }",
+        )
+        .unwrap();
+        prog.validate().unwrap();
+        for (model, expect) in [
+            (MemoryModel::Tso, vec![0]),
+            // PSO: oldest entry per distinct cell — the second store to
+            // `c` (index 2) stays ordered behind the first.
+            (MemoryModel::Pso, vec![0, 1]),
+        ] {
+            let mut m = Machine::boot_under(&prog, model);
+            let val = Valuation::new();
+            while let Poll::ReadyAt(_) = m.poll(&prog, &val, 0) {
+                assert!(m.step(&prog, 0).is_none());
+            }
+            assert_eq!(m.buffers[0].len(), 3);
+            assert_eq!(m.flush_choices(0), expect, "{model:?}");
+        }
     }
 
     #[test]

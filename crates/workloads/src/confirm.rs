@@ -8,24 +8,55 @@
 //! publication order, accidental join) shows up here as a failed
 //! replay, instead of silently skewing precision numbers.
 
+use canary_detect::MemoryModel;
 use canary_ir::Program;
-use canary_oracle::{replay, ReplayResult};
+use canary_oracle::{replay_under, ReplayResult};
 
 use crate::generator::{SeededBug, Workload};
 
-/// Replays one seeded bug's schedule through the oracle.
+/// Replays one seeded bug's schedule through the SC oracle.
 pub fn confirm_seeded(prog: &Program, bug: &SeededBug) -> ReplayResult {
-    replay(prog, bug.kind, bug.source, bug.sink, &bug.schedule, &[])
+    confirm_seeded_under(prog, MemoryModel::Sc, bug)
 }
 
-/// Replays every seeded bug of a workload and returns the ones that
-/// did **not** fire, with the replay outcome explaining why. An empty
-/// result means the ground truth is executably confirmed.
+/// Replays one seeded bug's schedule under an explicit memory model —
+/// weak-memory litmus seeds only confirm on the store-buffer machine.
+pub fn confirm_seeded_under(
+    prog: &Program,
+    model: MemoryModel,
+    bug: &SeededBug,
+) -> ReplayResult {
+    replay_under(
+        prog,
+        model,
+        bug.kind,
+        bug.source,
+        bug.sink,
+        &bug.schedule,
+        &[],
+    )
+}
+
+/// Replays every SC-visible seeded bug of a workload and returns the
+/// ones that did **not** fire, with the replay outcome explaining why.
+/// An empty result means the ground truth is executably confirmed.
 pub fn confirm_ground_truth(w: &Workload) -> Vec<(SeededBug, ReplayResult)> {
+    confirm_ground_truth_under(w, MemoryModel::Sc)
+}
+
+/// [`confirm_ground_truth`] under an explicit memory model: replays
+/// every seeded bug *visible under that model* (a store-buffering seed
+/// has no SC witness to confirm, so SC skips it) and returns the
+/// unconfirmed ones.
+pub fn confirm_ground_truth_under(
+    w: &Workload,
+    model: MemoryModel,
+) -> Vec<(SeededBug, ReplayResult)> {
     w.truth
         .seeded
         .iter()
-        .map(|b| (b.clone(), confirm_seeded(&w.prog, b)))
+        .filter(|b| b.visible_under(model))
+        .map(|b| (b.clone(), confirm_seeded_under(&w.prog, model, b)))
         .filter(|(_, r)| !r.confirmed())
         .collect()
 }
@@ -64,6 +95,26 @@ mod tests {
         assert!(kinds.contains(&BugKind::ConflictLock), "{kinds:?}");
         let failures = confirm_ground_truth(&w);
         assert!(failures.is_empty(), "unconfirmed: {failures:?}");
+    }
+
+    #[test]
+    fn litmus_workload_truth_is_executable_under_its_models() {
+        // Odd seed: SB (TSO+PSO), MP (PSO) and one ordinary SC UAF.
+        let w = generate(&WorkloadSpec::litmus(1));
+        assert_eq!(w.truth.seeded.len(), 3, "{:?}", w.truth.seeded);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let failures = confirm_ground_truth_under(&w, model);
+            assert!(failures.is_empty(), "{model:?}: {failures:?}");
+        }
+        // The weak seeds are invisible to SC: the SC pass must have
+        // skipped them rather than vacuously confirmed them.
+        let sc_visible = w
+            .truth
+            .seeded
+            .iter()
+            .filter(|b| b.visible_under(MemoryModel::Sc))
+            .count();
+        assert_eq!(sc_visible, 1);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use canary_detect::BugKind;
+use canary_detect::{BugKind, MemoryModel};
 use canary_ir::{CondExpr, FuncBody, FuncId, Label, Program, ProgramBuilder, VarId};
 
 use crate::spec::WorkloadSpec;
@@ -45,8 +45,28 @@ pub struct SeededBug {
     pub source: Label,
     /// Sink label: the dereference, second free, or taint sink.
     pub sink: Label,
-    /// Replayable witness schedule for `canary_oracle::replay`.
+    /// Replayable witness schedule for `canary_oracle::replay` (under
+    /// a weak model, store slots name flush points — see
+    /// `canary_oracle::replay_under`).
     pub schedule: Vec<Label>,
+    /// The memory models the bug is concretely reachable under. Most
+    /// seeds list all three (an SC execution is also a TSO and a PSO
+    /// execution); the weak-memory litmus seeds list only the models
+    /// whose store buffers realize them.
+    pub models: Vec<MemoryModel>,
+}
+
+impl SeededBug {
+    /// Whether the bug is concretely reachable under `model`.
+    pub fn visible_under(&self, model: MemoryModel) -> bool {
+        self.models.contains(&model)
+    }
+}
+
+/// All three supported memory models — the visibility set of an
+/// ordinary (SC-reachable) seeded bug.
+fn all_models() -> Vec<MemoryModel> {
+    vec![MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso]
 }
 
 /// Ground truth for one generated workload.
@@ -180,6 +200,30 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let cl_partners: Vec<FuncId> = (0..spec.conflict_lock)
         .map(|i| b.func(&format!("cl_partner_{i}"), &["x", "y"]))
         .collect();
+    let sb_pairs: Vec<(FuncId, FuncId)> = (0..spec.sb_patterns)
+        .map(|i| {
+            (
+                b.func(&format!("sb_a_{i}"), &["w", "r"]),
+                b.func(&format!("sb_b_{i}"), &["w", "r"]),
+            )
+        })
+        .collect();
+    let mp_pairs: Vec<(FuncId, FuncId)> = (0..spec.mp_patterns)
+        .map(|i| {
+            (
+                b.func(&format!("mp_w_{i}"), &["b", "s", "e"]),
+                b.func(&format!("mp_r_{i}"), &["s"]),
+            )
+        })
+        .collect();
+    let lb_pairs: Vec<(FuncId, FuncId)> = (0..spec.lb_patterns)
+        .map(|i| {
+            (
+                b.func(&format!("lb_a_{i}"), &["x", "y", "e"]),
+                b.func(&format!("lb_b_{i}"), &["x", "y"]),
+            )
+        })
+        .collect();
 
     // --- helper library ---------------------------------------------
     for (i, &h) in helpers.iter().enumerate() {
@@ -267,6 +311,66 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         f.unlock(x);
         f.unlock(y);
         cl_partial.push((outer, inner));
+    }
+    // Store-buffering sides: null own flag, read the sibling's, free
+    // what was read. (store, load, free) label triples per side.
+    let mut sb_partial: Vec<[Label; 6]> = Vec::new();
+    for (i, &(va, vb)) in sb_pairs.iter().enumerate() {
+        let mut sides = [Label::new(0); 6];
+        for (side, &v) in [va, vb].iter().enumerate() {
+            let mut f = b.body(v);
+            let w = f.var("w");
+            let r = f.var("r");
+            let n = f.null(&format!("sbn_{i}_{side}"));
+            f.store(w, n);
+            sides[3 * side] = f.last_label();
+            let x = f.load(&format!("sbr_{i}_{side}"), r);
+            sides[3 * side + 1] = f.last_label();
+            sides[3 * side + 2] = f.free(x);
+        }
+        sb_partial.push(sides);
+    }
+    // Message-passing writer/reader: the writer retires the published
+    // pointer, installs a replacement (W1), then publishes the mailbox
+    // (W2); the reader chases mailbox → cell → use.
+    // (free, W1, W2, load-mailbox, load-cell, use) label tuples.
+    let mut mp_partial: Vec<[Label; 6]> = Vec::new();
+    for (i, &(vw, vr)) in mp_pairs.iter().enumerate() {
+        let mut f = b.body(vw);
+        let cell = f.var("b");
+        let mailbox = f.var("s");
+        let doomed = f.var("e");
+        let free_l = f.free(doomed);
+        let fresh = f.alloc(&format!("mpg_{i}"), &format!("mpg_o_{i}"));
+        f.store(cell, fresh);
+        let w1 = f.last_label();
+        f.store(mailbox, cell);
+        let w2 = f.last_label();
+        let mut f = b.body(vr);
+        let mailbox = f.var("s");
+        let q = f.load(&format!("mpq_{i}"), mailbox);
+        let lq = f.last_label();
+        let p = f.load(&format!("mpp_{i}"), q);
+        let lp = f.last_label();
+        let use_l = f.deref(p);
+        mp_partial.push([free_l, w1, w2, lq, lp, use_l]);
+    }
+    // Load-buffering sides: read first, then store — the freed pointer
+    // could only come back through a load→store reordering, which store
+    // buffers never produce. No SeededBug: unreachable everywhere.
+    for (i, &(va, vb)) in lb_pairs.iter().enumerate() {
+        let mut f = b.body(va);
+        let x = f.var("x");
+        let y = f.var("y");
+        let e = f.var("e");
+        let a = f.load(&format!("lba_{i}"), y);
+        f.store(x, e);
+        f.deref(a);
+        let mut f = b.body(vb);
+        let x = f.var("x");
+        let y = f.var("y");
+        let bb = f.load(&format!("lbb_{i}"), x);
+        f.store(y, bb);
     }
     for (i, &v) in benign_victims.iter().enumerate() {
         let mut f = b.body(v);
@@ -371,6 +475,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: free_label,
             sink: truth.uaf_bugs[i].1,
             schedule: vec![uaf_loads[i], free_label, truth.uaf_bugs[i].1],
+            models: all_models(),
         });
     }
     // Racy double frees: the victim's free and main's free of the same
@@ -387,6 +492,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: victim_free,
             sink: main_free,
             schedule: vec![load_l, victim_free, main_free],
+            models: all_models(),
         });
     }
     // Null publications racing a forked reader.
@@ -404,6 +510,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: null_l,
             sink: deref_l,
             schedule: vec![null_l, store_l, load_l, deref_l],
+            models: all_models(),
         });
     }
     // Taint published into a cell a forked reader sinks from.
@@ -419,6 +526,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: taint_l,
             sink: sink_l,
             schedule: vec![taint_l, store_l, load_l, sink_l],
+            models: all_models(),
         });
     }
     // Same-thread double-locks: main re-acquires a mutex it still
@@ -434,6 +542,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source: first,
             sink: second,
             schedule: vec![first, second],
+            models: all_models(),
         });
     }
     // Conflicting acquisition orders: main takes a then b while the
@@ -455,7 +564,67 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             source,
             sink,
             schedule: vec![p_outer.min(m_outer), p_outer.max(m_outer), source, sink],
+            models: all_models(),
         });
+    }
+    // Store-buffering litmus: both flags start at the victim pointer;
+    // each side nulls one flag then reads the other. Both frees act —
+    // a double-free — only when both stores are still buffered as the
+    // sibling loads run, so the ground-truth schedule places the store
+    // slots (= flush points under a weak replay) after both loads.
+    for (i, &[store_a, load_a, free_a, store_b, load_b, free_b]) in
+        sb_partial.iter().enumerate()
+    {
+        let flag_x = f.alloc(&format!("sbx_{i}"), &format!("sbx_o_{i}"));
+        let flag_y = f.alloc(&format!("sby_{i}"), &format!("sby_o_{i}"));
+        let victim = f.alloc(&format!("sbp_{i}"), &format!("sbp_o_{i}"));
+        f.store(flag_x, victim);
+        f.store(flag_y, victim);
+        f.fork(&format!("sbta_{i}"), &format!("sb_a_{i}"), &[flag_x, flag_y]);
+        f.fork(&format!("sbtb_{i}"), &format!("sb_b_{i}"), &[flag_y, flag_x]);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::DoubleFree,
+            source: free_a.min(free_b),
+            sink: free_a.max(free_b),
+            schedule: vec![load_a, load_b, store_a, store_b],
+            models: vec![MemoryModel::Tso, MemoryModel::Pso],
+        });
+    }
+    // Message-passing litmus: the use-after-free needs the mailbox
+    // publish (W2) visible before the reader's loads while the install
+    // (W1) is still buffered — PSO's per-location drain order only.
+    for (i, &[free_l, w1, w2, lq, lp, use_l]) in mp_partial.iter().enumerate() {
+        let cell = f.alloc(&format!("mpb_{i}"), &format!("mpb_o_{i}"));
+        let mailbox = f.alloc(&format!("mps_{i}"), &format!("mps_o_{i}"));
+        let doomed = f.alloc(&format!("mpe_{i}"), &format!("mpe_o_{i}"));
+        f.store(cell, doomed);
+        f.fork(
+            &format!("mptw_{i}"),
+            &format!("mp_w_{i}"),
+            &[cell, mailbox, doomed],
+        );
+        f.fork(&format!("mptr_{i}"), &format!("mp_r_{i}"), &[mailbox]);
+        truth.seeded.push(SeededBug {
+            kind: BugKind::UseAfterFree,
+            source: free_l,
+            sink: use_l,
+            schedule: vec![w2, lq, lp, w1],
+            models: vec![MemoryModel::Pso],
+        });
+    }
+    // Load-buffering negative controls: free the bait up front, then
+    // let the two threads race. The bait can only reach the deref via
+    // a load→store reordering, so no interleaving of any supported
+    // model fires it — one more infeasible pattern for the detector
+    // and the enumerator to agree on.
+    for i in 0..spec.lb_patterns {
+        let lx = f.alloc(&format!("lbx_{i}"), &format!("lbx_o_{i}"));
+        let ly = f.alloc(&format!("lby_{i}"), &format!("lby_o_{i}"));
+        let bait = f.alloc(&format!("lbe_{i}"), &format!("lbe_o_{i}"));
+        f.free(bait);
+        f.fork(&format!("lbta_{i}"), &format!("lb_a_{i}"), &[lx, ly, bait]);
+        f.fork(&format!("lbtb_{i}"), &format!("lb_b_{i}"), &[lx, ly]);
+        truth.infeasible_patterns += 1;
     }
     // Benign patterns: the free is guarded by an *independent* atom.
     for i in 0..spec.benign_patterns {

@@ -27,7 +27,9 @@ pub mod confirm;
 pub mod generator;
 pub mod spec;
 
-pub use confirm::{confirm_ground_truth, confirm_seeded};
+pub use confirm::{
+    confirm_ground_truth, confirm_ground_truth_under, confirm_seeded, confirm_seeded_under,
+};
 pub use generator::{evaluate, generate, Eval, GroundTruth, SeededBug, Workload};
 pub use spec::{table1_suite, SubjectRow, SuiteScale, WorkloadSpec, TABLE1_SUBJECTS};
 

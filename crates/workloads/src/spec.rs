@@ -58,6 +58,21 @@ pub struct WorkloadSpec {
     /// Seeded conflicting-lock-order pairs: main and a forked partner
     /// acquire two mutexes in opposite orders (deadlock-capable).
     pub conflict_lock: usize,
+    /// Seeded store-buffering (Dekker) litmus patterns: two threads
+    /// each null a flag then read the sibling's; the double-free fires
+    /// only when both stores are delayed past the sibling loads —
+    /// reachable under TSO and PSO, refuted by SC enumeration.
+    pub sb_patterns: usize,
+    /// Seeded message-passing litmus patterns: the writer retires a
+    /// pointer, installs a replacement, then publishes the mailbox; the
+    /// use-after-free needs the publish to overtake the install —
+    /// store→store reordering, reachable under PSO only.
+    pub mp_patterns: usize,
+    /// Seeded load-buffering negative controls: the cycle closes only
+    /// through a load→store reordering no store buffer produces, so the
+    /// pattern is unreachable under every supported model (and refuted
+    /// by the detector's retained load→store program order).
+    pub lb_patterns: usize,
     /// Emit the size filler (helper library, `pick` conflation, worker
     /// threads, alias webs, statement filler). Disable for *lean*
     /// workloads small enough for the oracle's exhaustive interleaving
@@ -84,6 +99,9 @@ impl WorkloadSpec {
             leak: 0,
             double_lock: 0,
             conflict_lock: 0,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
             filler: true,
         }
     }
@@ -110,6 +128,9 @@ impl WorkloadSpec {
             leak: 1,
             double_lock: 0,
             conflict_lock: 0,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
             filler: false,
         }
     }
@@ -134,6 +155,40 @@ impl WorkloadSpec {
             leak: 0,
             double_lock: 1,
             conflict_lock: 1,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
+            filler: false,
+        }
+    }
+
+    /// A filler-free litmus spec for the weak-memory differential
+    /// suite: one store-buffering pattern (TSO/PSO-visible), one
+    /// message-passing pattern (PSO-visible) and one load-buffering
+    /// negative control per workload, plus an ordinary SC-visible
+    /// use-after-free on odd seeds so cross-model monotonicity (an SC
+    /// bug persists under every weaker model) is exercised alongside
+    /// the weak-only certifications.
+    pub fn litmus(seed: u64) -> Self {
+        WorkloadSpec {
+            name: format!("litmus-{seed}"),
+            seed,
+            target_stmts: 0,
+            threads: 0,
+            shared_cells: 1,
+            true_bugs: (seed % 2) as usize,
+            benign_patterns: 0,
+            contradiction_patterns: 0,
+            handshake_patterns: 0,
+            order_fp_patterns: 0,
+            double_free: 0,
+            null_deref: 0,
+            leak: 0,
+            double_lock: 0,
+            conflict_lock: 0,
+            sb_patterns: 1,
+            mp_patterns: 1,
+            lb_patterns: 1,
             filler: false,
         }
     }
@@ -228,6 +283,9 @@ pub fn table1_suite(scale: SuiteScale) -> Vec<WorkloadSpec> {
                 leak: 0,
                 double_lock: 0,
                 conflict_lock: 0,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
                 filler: true,
             }
         })

@@ -492,6 +492,15 @@ fn main() -> ExitCode {
 
 /// The run manifest recorded in the SARIF invocation block: the full
 /// configuration (sorted knobs), the corpus hash, and the phase wall
+/// The CLI spelling of a memory model, as accepted by `--memory-model`.
+fn model_name(model: MemoryModel) -> &'static str {
+    match model {
+        MemoryModel::Sc => "sc",
+        MemoryModel::Tso => "tso",
+        MemoryModel::Pso => "pso",
+    }
+}
+
 /// times (nondeterministic; quarantined under `properties.timings`).
 fn run_manifest(
     cli: &Cli,
@@ -501,11 +510,7 @@ fn run_manifest(
     m: &canary_core::Metrics,
 ) -> canary_report::RunManifest {
     let checkers: Vec<String> = config.checkers.iter().map(|k| k.to_string()).collect();
-    let memory_model = match config.detect.memory_model {
-        MemoryModel::Sc => "sc",
-        MemoryModel::Tso => "tso",
-        MemoryModel::Pso => "pso",
-    };
+    let memory_model = model_name(config.detect.memory_model);
     canary_report::RunManifest {
         file: cli.file.clone(),
         corpus_hash: canary_report::content_hash(src.as_bytes()),
@@ -637,6 +642,7 @@ fn json_document(
             "metrics": {
                 "statements": m.stmt_count,
                 "threads": m.thread_count,
+                "memory_model": model_name(cli.config.detect.memory_model),
                 "vfg_nodes": m.vfg_nodes,
                 "vfg_edges": m.vfg_edges,
                 "interference_edges": m.interference_edges,

@@ -34,6 +34,9 @@ fn workload(bugs: usize, benign: usize, contra: usize, hs: usize, order_fp: usiz
         leak: 0,
         double_lock: 0,
         conflict_lock: 0,
+        sb_patterns: 0,
+        mp_patterns: 0,
+        lb_patterns: 0,
         filler: true,
     })
 }

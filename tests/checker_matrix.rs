@@ -445,6 +445,88 @@ mod generated_workloads {
     }
 }
 
+mod memory_model_sweep {
+    use super::*;
+    use canary_detect::MemoryModel;
+    use canary_ir::Label;
+    use canary_workloads::{generate, WorkloadSpec};
+    use std::collections::BTreeSet;
+
+    fn triples_under(
+        prog: &canary_ir::Program,
+        model: MemoryModel,
+    ) -> BTreeSet<(BugKind, Label, Label)> {
+        let canary = Canary::with_config(CanaryConfig {
+            detect: DetectOptions {
+                memory_model: model,
+                ..DetectOptions::default()
+            },
+            ..CanaryConfig::default()
+        });
+        canary
+            .analyze(prog)
+            .reports
+            .iter()
+            .map(|r| (r.kind, r.source, r.sink))
+            .collect()
+    }
+
+    /// Weakening the memory model only removes program-order
+    /// constraints, so on the seeded corpora every SC finding — across
+    /// all six checkers — persists under TSO, and every TSO finding
+    /// persists under PSO.
+    #[test]
+    fn sc_findings_persist_under_weaker_models() {
+        for spec in [
+            WorkloadSpec::lean(1),
+            WorkloadSpec::lean(2),
+            WorkloadSpec::lean(3),
+            WorkloadSpec::lean_locks(11),
+            WorkloadSpec::lean_locks(12),
+        ] {
+            let w = generate(&spec);
+            let sc = triples_under(&w.prog, MemoryModel::Sc);
+            let tso = triples_under(&w.prog, MemoryModel::Tso);
+            let pso = triples_under(&w.prog, MemoryModel::Pso);
+            assert!(!sc.is_empty(), "{}: corpus seeds bugs", spec.name);
+            assert!(
+                sc.is_subset(&tso),
+                "{}: TSO lost SC findings {:?}",
+                spec.name,
+                sc.difference(&tso)
+            );
+            assert!(
+                tso.is_subset(&pso),
+                "{}: PSO lost TSO findings {:?}",
+                spec.name,
+                tso.difference(&pso)
+            );
+        }
+    }
+
+    /// Lock-discipline checking reasons about acquisition order, not
+    /// memory visibility: the DoubleLock / ConflictLock finding sets
+    /// must be identical under all three models.
+    #[test]
+    fn lock_discipline_findings_are_model_insensitive() {
+        for seed in [11, 12, 13] {
+            let w = generate(&WorkloadSpec::lean_locks(seed));
+            let lock_only = |model| -> BTreeSet<(BugKind, Label, Label)> {
+                triples_under(&w.prog, model)
+                    .into_iter()
+                    .filter(|(k, _, _)| {
+                        matches!(k, BugKind::DoubleLock | BugKind::ConflictLock)
+                    })
+                    .collect()
+            };
+            let sc = lock_only(MemoryModel::Sc);
+            assert!(!sc.is_empty(), "seed {seed}: lock bugs seeded");
+            assert_eq!(sc, lock_only(MemoryModel::Tso), "seed {seed}");
+            assert_eq!(sc, lock_only(MemoryModel::Pso), "seed {seed}");
+        }
+    }
+}
+
 mod config_behaviour {
     use super::*;
 

@@ -81,6 +81,50 @@ fn memory_model_flag_accepted() {
 }
 
 #[test]
+fn unknown_memory_model_is_usage_error() {
+    let path = write_temp("racy_badmodel.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--memory-model", "rmo"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown memory model"), "{stderr}");
+}
+
+#[test]
+fn json_metrics_record_the_memory_model() {
+    let path = write_temp("racy_model_json.cir", RACY);
+    let run = |extra: &[&str]| -> serde_json::Value {
+        let out = canary_bin().arg(&path).args(extra).arg("--json").output().unwrap();
+        serde_json::from_slice(&out.stdout).unwrap()
+    };
+    assert_eq!(run(&[])["metrics"]["memory_model"], "sc", "sc is the default");
+    assert_eq!(
+        run(&["--memory-model", "tso"])["metrics"]["memory_model"],
+        "tso"
+    );
+    assert_eq!(
+        run(&["--memory-model", "pso"])["metrics"]["memory_model"],
+        "pso"
+    );
+}
+
+#[test]
+fn sarif_manifest_records_the_memory_model() {
+    let path = write_temp("racy_model_sarif.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--memory-model", "tso", "--format", "sarif"])
+        .output()
+        .unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let config = &doc["runs"][0]["invocations"][0]["properties"]["config"];
+    assert_eq!(config["memory_model"], "tso", "{config}");
+}
+
+#[test]
 fn baseline_tools_run_from_cli() {
     // The order-insensitive baseline reports even use-before-free.
     let path = write_temp("ubf.cir", "fn main() { p = alloc o; use p; free p; }\n");

@@ -52,6 +52,9 @@ fn lock_free_spec(seed: u64, stmts: usize, threads: usize, bugs: usize) -> Workl
         leak: 0,
         double_lock: 0,
         conflict_lock: 0,
+        sb_patterns: 0,
+        mp_patterns: 0,
+        lb_patterns: 0,
         filler: true,
     }
 }

@@ -85,6 +85,38 @@ fn pso_keeps_same_location_store_order() {
     assert!(reports_under(src, MemoryModel::Pso).is_empty());
 }
 
+/// Regression pin for the syntactic-location approximation in the
+/// detector's order policy: the two stores in `PSO_DISCRIMINATOR` go
+/// through distinct pointer *variables* (`c` and `c2`) that alias the
+/// same object, and the policy compares address variables
+/// syntactically, so PSO relaxes the store→store pair anyway. The
+/// operational store buffer keys on *runtime* cells — same-cell
+/// stores never reorder even under PSO — so complete enumeration
+/// proves the report unreachable. The approximation deliberately errs
+/// toward reporting (a missed alias must never hide a reordering);
+/// this test fails if either side of that trade drifts.
+#[test]
+fn syntactic_location_approximation_errs_toward_reporting() {
+    use canary_oracle::{explore_under, EnumLimits};
+
+    let reports = reports_under(PSO_DISCRIMINATOR, MemoryModel::Pso);
+    assert_eq!(
+        reports.len(),
+        1,
+        "aliased address variables must still be treated as distinct \
+         locations: {reports:?}"
+    );
+    let prog = canary_ir::parse(PSO_DISCRIMINATOR).expect("parses");
+    let e = explore_under(&prog, MemoryModel::Pso, EnumLimits::default());
+    assert!(e.complete);
+    assert!(
+        e.hits.is_empty(),
+        "the PSO store buffer drains same-cell stores in order, so the \
+         report is a certified false positive: {:?}",
+        e.hits
+    );
+}
+
 /// Monotonicity on ordinary programs: everything SC reports, TSO and
 /// PSO also report.
 #[test]

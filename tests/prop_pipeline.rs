@@ -36,6 +36,9 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 leak: 0,
                 double_lock: 0,
                 conflict_lock: 0,
+                sb_patterns: 0,
+                mp_patterns: 0,
+                lb_patterns: 0,
                 filler: true,
             },
         )

@@ -21,16 +21,18 @@
 //!    shortest witness before emission.
 
 use canary::{Canary, CanaryConfig};
+use canary_detect::MemoryModel;
 use canary_report::{diff_sarif, sarif_document, RunManifest};
 use canary_smt::SolverStrategy;
 use canary_workloads::{generate, WorkloadSpec};
 use proptest::prelude::*;
 use serde_json::Value;
 
-fn configured(threads: usize, strategy: SolverStrategy) -> Canary {
+fn configured(threads: usize, strategy: SolverStrategy, model: MemoryModel) -> Canary {
     let mut config = CanaryConfig::default();
     config.threads = threads;
     config.detect.solver.strategy = strategy;
+    config.detect.memory_model = model;
     Canary::with_config(config)
 }
 
@@ -67,26 +69,54 @@ fn artifacts(prog: &canary_ir::Program, outcome: &canary::AnalysisOutcome) -> (S
 }
 
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
-    (0u64..1000, 120usize..300, 1usize..4, 1usize..4, 0usize..3, 0usize..2).prop_map(
-        |(seed, stmts, threads, cells, bugs, df)| WorkloadSpec {
-            name: format!("report-det-{seed}"),
-            seed,
-            target_stmts: stmts,
-            threads,
-            shared_cells: cells,
-            true_bugs: bugs,
-            benign_patterns: 1,
-            contradiction_patterns: 1,
-            handshake_patterns: 1,
-            order_fp_patterns: 0,
-            double_free: df,
-            null_deref: 1,
-            leak: 0,
-            double_lock: 1,
-            conflict_lock: 1,
-            filler: true,
-        },
+    (
+        0u64..1000,
+        120usize..300,
+        1usize..4,
+        1usize..4,
+        0usize..3,
+        0usize..2,
+        0usize..2,
+        0usize..2,
     )
+        .prop_map(
+            |(seed, stmts, threads, cells, bugs, df, sb, mp)| WorkloadSpec {
+                name: format!("report-det-{seed}"),
+                seed,
+                target_stmts: stmts,
+                threads,
+                shared_cells: cells,
+                true_bugs: bugs,
+                benign_patterns: 1,
+                contradiction_patterns: 1,
+                handshake_patterns: 1,
+                order_fp_patterns: 0,
+                double_free: df,
+                null_deref: 1,
+                leak: 0,
+                double_lock: 1,
+                conflict_lock: 1,
+                sb_patterns: sb,
+                mp_patterns: mp,
+                lb_patterns: 0,
+                filler: true,
+            },
+        )
+}
+
+/// The `canary/v1` fingerprints of a rendered SARIF document.
+fn fingerprints(doc: &Value) -> std::collections::BTreeSet<String> {
+    doc["runs"][0]["results"]
+        .as_array()
+        .expect("results array")
+        .iter()
+        .map(|r| {
+            r["partialFingerprints"]["canary/v1"]
+                .as_str()
+                .expect("canary/v1 fingerprint")
+                .to_string()
+        })
+        .collect()
 }
 
 proptest! {
@@ -101,25 +131,37 @@ proptest! {
             (1, SolverStrategy::Incremental),
             (4, SolverStrategy::Incremental),
         ];
-        let mut rendered: Vec<(String, String, String)> = Vec::new();
-        let mut docs: Vec<Value> = Vec::new();
-        for (threads, strategy) in combos {
-            let outcome = configured(threads, strategy).analyze(&w.prog);
-            let prog = outcome.analyzed_program.as_ref().unwrap_or(&w.prog);
-            rendered.push(artifacts(prog, &outcome));
-            docs.push(sarif_document(prog, &outcome.reports, &fixed_manifest("workload.cir")));
+        // Per memory model: every artifact byte-identical across the
+        // front-end / solver combos, and same-corpus runs diff clean.
+        let mut model_fps: Vec<std::collections::BTreeSet<String>> = Vec::new();
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let mut rendered: Vec<(String, String, String)> = Vec::new();
+            let mut docs: Vec<Value> = Vec::new();
+            for (threads, strategy) in combos {
+                let outcome = configured(threads, strategy, model).analyze(&w.prog);
+                let prog = outcome.analyzed_program.as_ref().unwrap_or(&w.prog);
+                rendered.push(artifacts(prog, &outcome));
+                docs.push(sarif_document(prog, &outcome.reports, &fixed_manifest("workload.cir")));
+            }
+            for (i, r) in rendered.iter().enumerate().skip(1) {
+                prop_assert_eq!(&rendered[0].0, &r.0, "SARIF differs in combo {} under {:?}", i, model);
+                prop_assert_eq!(&rendered[0].1, &r.1, "provenance JSON differs in combo {} under {:?}", i, model);
+                prop_assert_eq!(&rendered[0].2, &r.2, "provenance DOT differs in combo {} under {:?}", i, model);
+            }
+            // Any two runs of the same corpus diff clean: nothing new,
+            // nothing fixed, every finding persisting.
+            for cur in docs.iter().skip(1) {
+                let d = diff_sarif(&docs[0], cur).expect("well-formed SARIF");
+                prop_assert!(d.new.is_empty() && d.fixed.is_empty(), "{:?} under {:?}", d, model);
+            }
+            model_fps.push(fingerprints(&docs[0]));
         }
-        for (i, r) in rendered.iter().enumerate().skip(1) {
-            prop_assert_eq!(&rendered[0].0, &r.0, "SARIF differs in combo {}", i);
-            prop_assert_eq!(&rendered[0].1, &r.1, "provenance JSON differs in combo {}", i);
-            prop_assert_eq!(&rendered[0].2, &r.2, "provenance DOT differs in combo {}", i);
-        }
-        // Any two runs of the same corpus diff clean: nothing new,
-        // nothing fixed, every finding persisting.
-        for cur in docs.iter().skip(1) {
-            let d = diff_sarif(&docs[0], cur).expect("well-formed SARIF");
-            prop_assert!(d.new.is_empty() && d.fixed.is_empty(), "{:?}", d);
-        }
+        // Cross-model stability: weakening the model only adds
+        // findings, and the SC-visible ones keep their fingerprints
+        // (so a baseline recorded under SC diffs clean under TSO/PSO).
+        let [sc, tso, pso] = &model_fps[..] else { unreachable!() };
+        prop_assert!(sc.is_subset(tso), "TSO lost SC fingerprints: {:?}", sc.difference(tso));
+        prop_assert!(sc.is_subset(pso), "PSO lost SC fingerprints: {:?}", sc.difference(pso));
     }
 }
 
@@ -178,6 +220,46 @@ fn cli_sarif_is_byte_identical_across_threads_and_strategy() {
     ] {
         let doc = normalize_manifest(run_sarif(&path, extra));
         assert_eq!(base, doc, "SARIF differs under {extra:?}");
+    }
+}
+
+/// The byte-identity contract holds under the weak models too: for a
+/// fixed `--memory-model`, varying `--threads` and
+/// `--solver-strategy` must not change a byte outside the manifest.
+#[test]
+fn cli_sarif_is_byte_identical_under_weak_models() {
+    let path = fig2_variant();
+    for model in ["tso", "pso"] {
+        let base = normalize_manifest(run_sarif(&path, &["--memory-model", model]));
+        for extra in [
+            &["--threads", "4"][..],
+            &["--solver-strategy", "incremental"][..],
+            &["--threads", "4", "--solver-strategy", "incremental"][..],
+        ] {
+            let mut args = vec!["--memory-model", model];
+            args.extend_from_slice(extra);
+            let doc = normalize_manifest(run_sarif(&path, &args));
+            assert_eq!(base, doc, "SARIF differs under {model} with {extra:?}");
+        }
+    }
+}
+
+/// SC-visible findings keep their fingerprints when the analysis runs
+/// under a weaker model: a baseline recorded under SC must diff clean
+/// when re-checked under TSO or PSO.
+#[test]
+fn cli_fingerprints_of_sc_findings_are_model_invariant() {
+    let path = fig2_variant();
+    let fps = |model: &str| fingerprints(&run_sarif(&path, &["--memory-model", model]));
+    let sc = fps("sc");
+    assert!(!sc.is_empty(), "fig2 variant reports under SC");
+    for model in ["tso", "pso"] {
+        let weak = fps(model);
+        assert!(
+            sc.is_subset(&weak),
+            "{model} lost SC fingerprints: {:?}",
+            sc.difference(&weak)
+        );
     }
 }
 
