@@ -162,3 +162,42 @@ else
     grep -q '"canary/double-free"' /tmp/canary_tso_sb.sarif
     grep -q '"memory_model": "tso"' /tmp/canary_tso_sb.sarif
 fi
+# Run-health telemetry gates: OpenMetrics export smoke, --log flag
+# smoke, and the `canary bench diff` regression gate — a fresh
+# artifact must self-diff clean and a perturbed copy must fail, so
+# the gate itself is gated.
+./target/release/canary examples/fig2_variant.cir --log off \
+    --metrics-out /tmp/canary_fig2.om > /dev/null || [ $? -eq 1 ]  # exit 1 = bug reported
+tail -c 6 /tmp/canary_fig2.om | grep -q '# EOF'
+grep -q '^canary_detect_queries_total 1$' /tmp/canary_fig2.om
+grep -q '^canary_smt_query_seconds_bucket{kind="use-after-free",le="+Inf"} 1$' /tmp/canary_fig2.om
+grep -q '^canary_term_table_bytes ' /tmp/canary_fig2.om
+grep -q '^canary_phase_peak_rss_bytes{phase="detect"} ' /tmp/canary_fig2.om
+# --log summary heartbeats reach stderr only: stdout matches a quiet run.
+./target/release/canary examples/fig2.cir --log summary \
+    > /tmp/canary_log.out 2> /tmp/canary_log.err
+grep -q 'canary: alg1: level' /tmp/canary_log.err
+grep -q '(converged)' /tmp/canary_log.err
+./target/release/canary examples/fig2.cir > /tmp/canary_quiet.out
+cmp /tmp/canary_log.out /tmp/canary_quiet.out
+# The committed bench artifact self-diffs clean (exit 0, no regressions).
+./target/release/canary bench diff BENCH_8.json BENCH_8.json > /tmp/canary_bench_self.out
+grep -q '0 regressed' /tmp/canary_bench_self.out
+# A +25% aggregate-time perturbation must gate exit 1 and name the metric.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+d = json.load(open("BENCH_8.json"))
+d["aggregate"]["telemetry_on_total_s"] *= 1.25
+json.dump(d, open("/tmp/canary_bench_slow.json", "w"))'
+    base=BENCH_8.json
+else
+    printf '{"aggregate": {"telemetry_on_total_s": 0.100}}' > /tmp/canary_bench_base.json
+    printf '{"aggregate": {"telemetry_on_total_s": 0.125}}' > /tmp/canary_bench_slow.json
+    base=/tmp/canary_bench_base.json
+fi
+rc=0
+./target/release/canary bench diff "$base" /tmp/canary_bench_slow.json \
+    > /tmp/canary_bench_diff.out || rc=$?
+[ "$rc" -eq 1 ]
+grep -q 'REGRESSED' /tmp/canary_bench_diff.out

@@ -24,10 +24,9 @@
 
 use std::time::Instant;
 
-use canary_bench::{env_f64, family_subject};
+use canary_bench::{bench_corpus, env_f64};
 use canary_core::{AnalysisOutcome, Canary, CanaryConfig, Metrics};
 use canary_smt::SolverStrategy;
-use canary_workloads::{generate, WorkloadSpec};
 
 fn config(strategy: SolverStrategy) -> CanaryConfig {
     let mut c = CanaryConfig::default();
@@ -132,78 +131,12 @@ fn main() {
         .unwrap_or_else(|| "BENCH_4.json".into());
     let reps = env_f64("CANARY_BENCH_REPS", 3.0) as usize;
     let scale = env_f64("CANARY_BENCH_STMTS", 1.0);
-    let stmts = |n: usize| ((n as f64 * scale) as usize).max(50);
 
-    // Fixed corpus: the shipped examples plus deterministic generated
-    // subjects. The "dense" subjects seed many candidates per source —
-    // the query-family shape the incremental back-end exists for.
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let mut subjects: Vec<(String, canary_ir::Program)> = Vec::new();
-    for example in ["fig2.cir", "fig2_variant.cir"] {
-        let src = std::fs::read_to_string(root.join("examples").join(example))
-            .unwrap_or_else(|e| panic!("read {example}: {e}"));
-        let prog = canary_ir::parse(&src).expect("example parses");
-        prog.validate().expect("example validates");
-        subjects.push((example.into(), prog));
-    }
-    let specs = vec![
-        WorkloadSpec {
-            target_stmts: stmts(900),
-            ..WorkloadSpec::small(0xB41)
-        },
-        WorkloadSpec {
-            name: "dense-guards".into(),
-            seed: 0xB42,
-            target_stmts: stmts(1600),
-            threads: 3,
-            shared_cells: 6,
-            true_bugs: 4,
-            benign_patterns: 4,
-            contradiction_patterns: 4,
-            handshake_patterns: 2,
-            order_fp_patterns: 3,
-            double_free: 2,
-            null_deref: 2,
-            leak: 2,
-            double_lock: 1,
-            conflict_lock: 1,
-            sb_patterns: 0,
-            mp_patterns: 0,
-            lb_patterns: 0,
-            filler: true,
-        },
-        WorkloadSpec {
-            name: "dense-cells".into(),
-            seed: 0xB43,
-            target_stmts: stmts(2400),
-            threads: 4,
-            shared_cells: 8,
-            true_bugs: 5,
-            benign_patterns: 3,
-            contradiction_patterns: 5,
-            handshake_patterns: 2,
-            order_fp_patterns: 4,
-            double_free: 3,
-            null_deref: 2,
-            leak: 1,
-            double_lock: 1,
-            conflict_lock: 2,
-            sb_patterns: 0,
-            mp_patterns: 0,
-            lb_patterns: 0,
-            filler: true,
-        },
-    ];
-    for spec in &specs {
-        let w = generate(spec);
-        subjects.push((spec.name.clone(), w.prog));
-    }
-    // Query-family subjects: many candidate paths per source sharing
-    // one refutation reason, routed through lock/handshake
-    // disjunctions so the prefilter cannot discharge them.
-    let fam = |n: usize| ((n as f64 * scale) as usize).max(2);
-    subjects.push(("family-guarded".into(), family_subject(4, fam(10), 6)));
-    subjects.push(("family-wide".into(), family_subject(6, fam(16), 4)));
+    // Fixed corpus shared with bench8 (see `canary_bench::bench_corpus`):
+    // the shipped examples plus deterministic generated subjects. The
+    // "dense" subjects seed many candidates per source — the
+    // query-family shape the incremental back-end exists for.
+    let subjects = bench_corpus(scale);
 
     let mut rows = Vec::new();
     let mut fresh_detect = 0.0f64;

@@ -1,0 +1,138 @@
+//! PR-8 benchmark: run-health telemetry overhead.
+//!
+//! Runs the full pipeline over the shared BENCH_4 corpus twice per
+//! subject — telemetry **off** (plain `analyze`) and telemetry **on**
+//! (same run plus building the metrics registry and writing its
+//! OpenMetrics export, what `--metrics-out` adds) — and writes
+//! `BENCH_8.json` with:
+//!
+//! * per-subject best-of-reps wall times for both modes;
+//! * deterministic per-subject metrics (work counters, byte gauges)
+//!   in the shape `canary bench diff` gates on;
+//! * the PR's acceptance gate: telemetry-on total wall within 3% of
+//!   telemetry-off across the corpus.
+//!
+//! The on/off runs are interleaved per repetition so slow-machine
+//! drift (thermal, noisy neighbors) hits both modes equally, and each
+//! mode keeps its best-of-reps sample — the same noise damping bench4
+//! uses.
+//!
+//! Usage: `cargo run --release -p canary-bench --bin bench8 [OUT.json]`
+//! Knobs: `CANARY_BENCH_REPS` (default 5, best-of),
+//! `CANARY_BENCH_STMTS` (generated-subject size scale, default 1.0).
+
+use std::time::Instant;
+
+use canary_bench::{bench_corpus, env_f64};
+use canary_core::{Canary, CanaryConfig, Metrics};
+
+struct SubjectRun {
+    metrics: Metrics,
+    off_secs: f64,
+    on_secs: f64,
+    export_bytes: usize,
+}
+
+fn measure(prog: &canary_ir::Program, reps: usize, scratch: &std::path::Path) -> SubjectRun {
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    let mut metrics: Option<Metrics> = None;
+    let mut export_bytes = 0;
+    for _ in 0..reps.max(1) {
+        // Telemetry off: exactly what a default CLI run executes.
+        let t0 = Instant::now();
+        let outcome_off = Canary::with_config(CanaryConfig::default()).analyze(prog);
+        best_off = best_off.min(t0.elapsed().as_secs_f64());
+        drop(outcome_off);
+
+        // Telemetry on: the same analysis plus registry construction
+        // and the OpenMetrics text write — the `--metrics-out` path.
+        let t1 = Instant::now();
+        let outcome_on = Canary::with_config(CanaryConfig::default()).analyze(prog);
+        let registry = outcome_on.metrics.to_registry();
+        let text = registry.to_openmetrics();
+        std::fs::write(scratch, &text).expect("write scratch export");
+        best_on = best_on.min(t1.elapsed().as_secs_f64());
+        export_bytes = text.len();
+        metrics = Some(outcome_on.metrics);
+    }
+    SubjectRun {
+        metrics: metrics.expect("at least one repetition"),
+        off_secs: best_off,
+        on_secs: best_on,
+        export_bytes,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_8.json".into());
+    let reps = env_f64("CANARY_BENCH_REPS", 5.0) as usize;
+    let scale = env_f64("CANARY_BENCH_STMTS", 1.0);
+    let subjects = bench_corpus(scale);
+    let scratch = std::env::temp_dir().join("canary_bench8_metrics.txt");
+
+    let mut rows = Vec::new();
+    let mut off_total = 0.0f64;
+    let mut on_total = 0.0f64;
+    for (name, prog) in &subjects {
+        let r = measure(prog, reps, &scratch);
+        off_total += r.off_secs;
+        on_total += r.on_secs;
+        let m = &r.metrics;
+        println!(
+            "{name}: off {:.1}ms, on {:.1}ms ({:+.1}%) | export {}B, {} families",
+            r.off_secs * 1e3,
+            r.on_secs * 1e3,
+            (r.on_secs / r.off_secs.max(1e-9) - 1.0) * 100.0,
+            r.export_bytes,
+            m.to_registry().len(),
+        );
+        rows.push(serde_json::json!({
+            "subject": name,
+            "telemetry_off_total_s": r.off_secs,
+            "telemetry_on_total_s": r.on_secs,
+            "detect_s": m.t_detect.as_secs_f64(),
+            "dataflow_s": m.t_dataflow.as_secs_f64(),
+            "interference_s": m.t_interference.as_secs_f64(),
+            // Deterministic gauges/counters: the leaves `canary bench
+            // diff` gates byte-for-byte between PRs.
+            "vfg_bytes": m.vfg_bytes,
+            "term_table_bytes": m.term_bytes,
+            "smt_queries": m.detect.queries,
+            "conflicts_plus_decisions_work": m.detect.conflicts + m.detect.decisions,
+            "openmetrics_export_bytes": r.export_bytes,
+        }));
+    }
+    let _ = std::fs::remove_file(&scratch);
+
+    let overhead = on_total / off_total.max(1e-9) - 1.0;
+    let pass = overhead <= 0.03;
+    println!(
+        "aggregate: off {:.1}ms, on {:.1}ms ({:+.2}% overhead) | gate {}",
+        off_total * 1e3,
+        on_total * 1e3,
+        overhead * 100.0,
+        if pass { "PASS" } else { "FAIL" },
+    );
+
+    let doc = serde_json::json!({
+        "bench": "BENCH_8 run-health telemetry overhead",
+        "reps": reps,
+        "subjects": rows,
+        "aggregate": {
+            "telemetry_off_total_s": off_total,
+            "telemetry_on_total_s": on_total,
+            "overhead_ratio": overhead,
+        },
+        "gate": {
+            "criterion": "telemetry_on_total_s <= 1.03 * telemetry_off_total_s",
+            "pass": pass,
+        },
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&doc).expect("valid json"))
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    assert!(pass, "acceptance gate failed: see {out_path}");
+}

@@ -1,0 +1,359 @@
+//! `canary bench diff`: tolerance-gated comparison of two bench JSON
+//! documents (`BENCH_*.json`), turning the bench trajectory into a CI
+//! regression gate.
+//!
+//! The comparison walks both documents' numeric leaves by path and
+//! classifies the shared ones:
+//!
+//! * **time** — key ends in `_s` or `_ms`. Gated, but only when at
+//!   least one side exceeds a noise floor ([`DiffOptions::min_time_s`]):
+//!   microsecond phases on a loaded CI core are coin flips.
+//! * **memory** — key ends in `_bytes`. Gated; byte gauges are
+//!   deterministic, so any drift is a real change.
+//! * **work** — key ends in `work`, `conflicts`, `decisions`,
+//!   `propagations` or `queries`. Gated; deterministic solver effort.
+//!
+//! Everything else (rates, counts of subjects, booleans) is ignored —
+//! it either has its own gate in the producing bench or is derived
+//! from the gated families. A leaf present on only one side is
+//! reported informationally, never gated: schema growth between PRs
+//! is expected.
+
+use std::fmt::Write as _;
+
+/// What a numeric leaf measures, from its key suffix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Wall-clock seconds/milliseconds (`*_s`, `*_ms`).
+    Time,
+    /// Byte gauges (`*_bytes`).
+    Memory,
+    /// Deterministic work counters (conflicts, decisions, queries, …).
+    Work,
+}
+
+impl MetricClass {
+    /// Classifies a JSON key; `None` means the leaf is not compared.
+    pub fn of(key: &str) -> Option<MetricClass> {
+        if key.ends_with("_s") || key.ends_with("_ms") {
+            Some(MetricClass::Time)
+        } else if key.ends_with("_bytes") {
+            Some(MetricClass::Memory)
+        } else if key.ends_with("work")
+            || key.ends_with("conflicts")
+            || key.ends_with("decisions")
+            || key.ends_with("propagations")
+            || key.ends_with("queries")
+        {
+            Some(MetricClass::Work)
+        } else {
+            None
+        }
+    }
+}
+
+/// One compared leaf.
+#[derive(Clone, Debug)]
+pub struct MetricDelta {
+    /// Slash-joined JSON path (`aggregate/fresh_detect_s`).
+    pub path: String,
+    /// What the leaf measures.
+    pub class: MetricClass,
+    /// Baseline value.
+    pub old: f64,
+    /// Current value.
+    pub new: f64,
+    /// `new/old - 1`; `0.0` when both sides are zero.
+    pub ratio: f64,
+    /// Exceeded tolerance in the slower/bigger direction.
+    pub regressed: bool,
+    /// Exceeded tolerance in the faster/smaller direction.
+    pub improved: bool,
+}
+
+/// Comparison knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Relative tolerance before a delta gates (default 0.05 = 5%).
+    pub tolerance: f64,
+    /// Time leaves where both sides are below this many seconds are
+    /// skipped as noise (default 1ms).
+    pub min_time_s: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            tolerance: 0.05,
+            min_time_s: 1e-3,
+        }
+    }
+}
+
+/// The full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDiff {
+    /// Every gated leaf compared, in path order.
+    pub deltas: Vec<MetricDelta>,
+    /// Gated leaf paths present in only one document (path, side).
+    pub unmatched: Vec<(String, &'static str)>,
+}
+
+impl BenchDiff {
+    /// Any leaf regressed beyond tolerance.
+    pub fn has_regression(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Plain-text report, regressions first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut ordered: Vec<&MetricDelta> = self.deltas.iter().collect();
+        ordered.sort_by(|a, b| {
+            (b.regressed, b.improved)
+                .cmp(&(a.regressed, a.improved))
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        for d in ordered {
+            let flag = if d.regressed {
+                "REGRESSED"
+            } else if d.improved {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{flag:>9}  {}  {} -> {}  ({:+.1}%)",
+                d.path,
+                fmt_value(d.class, d.old),
+                fmt_value(d.class, d.new),
+                d.ratio * 100.0,
+            );
+        }
+        for (path, side) in &self.unmatched {
+            let _ = writeln!(out, "     only  {path}  ({side})");
+        }
+        let regressed = self.deltas.iter().filter(|d| d.regressed).count();
+        let improved = self.deltas.iter().filter(|d| d.improved).count();
+        let _ = writeln!(
+            out,
+            "bench diff: {} metric(s) compared, {regressed} regressed, {improved} improved",
+            self.deltas.len(),
+        );
+        out
+    }
+}
+
+fn fmt_value(class: MetricClass, v: f64) -> String {
+    match class {
+        MetricClass::Time => format!("{:.4}s", v),
+        MetricClass::Memory => format!("{v:.0}B"),
+        MetricClass::Work => format!("{v:.0}"),
+    }
+}
+
+/// Collects every gated numeric leaf of `doc` as `(path, class, value)`,
+/// in deterministic path order (the vendored `Value::Object` is a
+/// sorted map).
+fn numeric_leaves(doc: &serde_json::Value, prefix: &str, out: &mut Vec<(String, MetricClass, f64)>) {
+    match doc {
+        serde_json::Value::Object(map) => {
+            for (k, v) in map {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}/{k}")
+                };
+                if let Some(n) = v.as_f64() {
+                    if let Some(class) = MetricClass::of(k) {
+                        out.push((path, class, n));
+                    }
+                } else {
+                    numeric_leaves(v, &path, out);
+                }
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                // Prefer a stable name over the index when the element
+                // carries one, so reordered subject lists still align.
+                let name = v
+                    .get("subject")
+                    .or_else(|| v.get("name"))
+                    .and_then(|s| s.as_str())
+                    .map_or_else(|| i.to_string(), str::to_string);
+                numeric_leaves(v, &format!("{prefix}/{name}"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two bench documents. `Err` only on structurally unusable
+/// input (no gated numeric leaves on either side).
+pub fn diff_bench(
+    old: &serde_json::Value,
+    new: &serde_json::Value,
+    opts: &DiffOptions,
+) -> Result<BenchDiff, String> {
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    numeric_leaves(old, "", &mut old_leaves);
+    numeric_leaves(new, "", &mut new_leaves);
+    if old_leaves.is_empty() && new_leaves.is_empty() {
+        return Err("neither document contains comparable bench metrics".into());
+    }
+    let old_map: std::collections::BTreeMap<&str, (MetricClass, f64)> = old_leaves
+        .iter()
+        .map(|(p, c, v)| (p.as_str(), (*c, *v)))
+        .collect();
+    let new_map: std::collections::BTreeMap<&str, (MetricClass, f64)> = new_leaves
+        .iter()
+        .map(|(p, c, v)| (p.as_str(), (*c, *v)))
+        .collect();
+    let mut diff = BenchDiff::default();
+    for (path, (class, old_v)) in &old_map {
+        let Some((_, new_v)) = new_map.get(path) else {
+            diff.unmatched.push(((*path).to_string(), "baseline"));
+            continue;
+        };
+        if *class == MetricClass::Time
+            && old_v.max(*new_v) < opts.min_time_s
+        {
+            continue;
+        }
+        let ratio = if *old_v == 0.0 && *new_v == 0.0 {
+            0.0
+        } else if *old_v == 0.0 {
+            f64::INFINITY
+        } else {
+            new_v / old_v - 1.0
+        };
+        diff.deltas.push(MetricDelta {
+            path: (*path).to_string(),
+            class: *class,
+            old: *old_v,
+            new: *new_v,
+            ratio,
+            regressed: ratio > opts.tolerance,
+            improved: ratio < -opts.tolerance,
+        });
+    }
+    for path in new_map.keys() {
+        if !old_map.contains_key(path) {
+            diff.unmatched.push(((*path).to_string(), "current"));
+        }
+    }
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(detect_s: f64, bytes: f64, work: f64) -> serde_json::Value {
+        serde_json::json!({
+            "aggregate": {
+                "detect_s": detect_s,
+                "vfg_bytes": bytes,
+                "conflicts_plus_decisions_work": work,
+                "reuse_rate": 0.9,
+            },
+            "subjects": [
+                { "subject": "fig2.cir", "total_s": detect_s * 2.0 },
+            ],
+        })
+    }
+
+    #[test]
+    fn identical_documents_diff_clean() {
+        let d = doc(1.0, 4096.0, 100.0);
+        let diff = diff_bench(&d, &d, &DiffOptions::default()).unwrap();
+        assert!(!diff.has_regression());
+        assert!(diff.deltas.iter().all(|x| !x.improved));
+        assert!(diff.unmatched.is_empty());
+        // reuse_rate is not a gated class and must not be compared.
+        assert!(diff.deltas.iter().all(|d| d.path != "aggregate/reuse_rate"));
+    }
+
+    #[test]
+    fn detect_time_regression_flags() {
+        let old = doc(1.0, 4096.0, 100.0);
+        let new = doc(1.2, 4096.0, 100.0);
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(diff.has_regression());
+        let d = diff
+            .deltas
+            .iter()
+            .find(|d| d.path == "aggregate/detect_s")
+            .unwrap();
+        assert!(d.regressed);
+        assert!((d.ratio - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_floor_times_are_noise() {
+        let old = doc(2e-4, 4096.0, 100.0);
+        let new = doc(4e-4, 4096.0, 100.0); // 2x, but every time leaf under 1ms
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(!diff.has_regression());
+    }
+
+    #[test]
+    fn work_and_memory_regressions_gate() {
+        let old = doc(1.0, 4096.0, 100.0);
+        let new = doc(1.0, 8192.0, 120.0);
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        let flagged: Vec<&str> = diff
+            .deltas
+            .iter()
+            .filter(|d| d.regressed)
+            .map(|d| d.path.as_str())
+            .collect();
+        assert!(flagged.contains(&"aggregate/vfg_bytes"));
+        assert!(flagged.contains(&"aggregate/conflicts_plus_decisions_work"));
+    }
+
+    #[test]
+    fn improvements_do_not_gate() {
+        let old = doc(2.0, 8192.0, 200.0);
+        let new = doc(1.0, 4096.0, 100.0);
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(!diff.has_regression());
+        assert!(diff.deltas.iter().any(|d| d.improved));
+    }
+
+    #[test]
+    fn schema_growth_is_informational() {
+        let old = doc(1.0, 4096.0, 100.0);
+        let mut new = doc(1.0, 4096.0, 100.0);
+        if let serde_json::Value::Object(top) = &mut new {
+            if let Some(serde_json::Value::Object(agg)) = top.get_mut("aggregate") {
+                agg.insert("new_phase_s".into(), serde_json::json!(0.5));
+            }
+        }
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        assert!(!diff.has_regression());
+        assert!(diff
+            .unmatched
+            .iter()
+            .any(|(p, side)| p == "aggregate/new_phase_s" && *side == "current"));
+    }
+
+    #[test]
+    fn unusable_input_errors() {
+        let d = serde_json::json!({"hello": "world"});
+        assert!(diff_bench(&d, &d, &DiffOptions::default()).is_err());
+    }
+
+    #[test]
+    fn render_mentions_regression() {
+        let old = doc(1.0, 4096.0, 100.0);
+        let new = doc(1.5, 4096.0, 100.0);
+        let diff = diff_bench(&old, &new, &DiffOptions::default()).unwrap();
+        let text = diff.render();
+        assert!(text.contains("REGRESSED"));
+        assert!(text.contains("aggregate/detect_s"));
+    }
+}

@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod diff;
+
 use std::time::{Duration, Instant};
 
 use canary_baselines::{fsam, saber, Budgeted, Deadline};
@@ -426,6 +428,90 @@ pub fn family_subject(sources: usize, stores: usize, locks: usize) -> canary_ir:
     let prog = canary_ir::parse(&s).expect("family subject parses");
     prog.validate().expect("family subject validates");
     prog
+}
+
+/// The fixed BENCH_4 corpus: the shipped `.cir` examples plus
+/// deterministic generated workloads plus the two query-family
+/// subjects. `scale` multiplies generated-subject sizes (the
+/// `CANARY_BENCH_STMTS` knob). Shared by `bench4` (strategy
+/// comparison) and `bench8` (telemetry overhead) so their numbers are
+/// about the same programs.
+///
+/// # Panics
+///
+/// Panics when a shipped example is missing or fails to parse — the
+/// corpus is part of the repository.
+pub fn bench_corpus(scale: f64) -> Vec<(String, canary_ir::Program)> {
+    use canary_workloads::{generate, WorkloadSpec};
+    let stmts = |n: usize| ((n as f64 * scale) as usize).max(50);
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut subjects: Vec<(String, canary_ir::Program)> = Vec::new();
+    for example in ["fig2.cir", "fig2_variant.cir"] {
+        let src = std::fs::read_to_string(root.join("examples").join(example))
+            .unwrap_or_else(|e| panic!("read {example}: {e}"));
+        let prog = canary_ir::parse(&src).expect("example parses");
+        prog.validate().expect("example validates");
+        subjects.push((example.into(), prog));
+    }
+    let specs = vec![
+        WorkloadSpec {
+            target_stmts: stmts(900),
+            ..WorkloadSpec::small(0xB41)
+        },
+        WorkloadSpec {
+            name: "dense-guards".into(),
+            seed: 0xB42,
+            target_stmts: stmts(1600),
+            threads: 3,
+            shared_cells: 6,
+            true_bugs: 4,
+            benign_patterns: 4,
+            contradiction_patterns: 4,
+            handshake_patterns: 2,
+            order_fp_patterns: 3,
+            double_free: 2,
+            null_deref: 2,
+            leak: 2,
+            double_lock: 1,
+            conflict_lock: 1,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
+            filler: true,
+        },
+        WorkloadSpec {
+            name: "dense-cells".into(),
+            seed: 0xB43,
+            target_stmts: stmts(2400),
+            threads: 4,
+            shared_cells: 8,
+            true_bugs: 5,
+            benign_patterns: 3,
+            contradiction_patterns: 5,
+            handshake_patterns: 2,
+            order_fp_patterns: 4,
+            double_free: 3,
+            null_deref: 2,
+            leak: 1,
+            double_lock: 1,
+            conflict_lock: 2,
+            sb_patterns: 0,
+            mp_patterns: 0,
+            lb_patterns: 0,
+            filler: true,
+        },
+    ];
+    for spec in &specs {
+        let w = generate(spec);
+        subjects.push((spec.name.clone(), w.prog));
+    }
+    // Query-family subjects: many candidate paths per source sharing
+    // one refutation reason, routed through lock/handshake
+    // disjunctions so the prefilter cannot discharge them.
+    let fam = |n: usize| ((n as f64 * scale) as usize).max(2);
+    subjects.push(("family-guarded".into(), family_subject(4, fam(10), 6)));
+    subjects.push(("family-wide".into(), family_subject(6, fam(16), 4)));
+    subjects
 }
 
 /// Reads a scaling knob from the environment with a default, so the

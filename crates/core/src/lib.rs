@@ -134,8 +134,14 @@ pub struct PhaseStats {
     /// Worker threads the phase was configured with.
     pub workers: usize,
     /// Independent work items the phase executed (call-graph SCC tasks
-    /// for Alg. 1; `Pted` sweeps plus per-load scans for Alg. 2).
+    /// for Alg. 1; `Pted` sweeps plus per-load scans for Alg. 2; SMT
+    /// queries for detection).
     pub tasks: usize,
+    /// Process peak RSS in bytes, sampled at phase end (`VmHWM`, a
+    /// monotone high-water mark — see
+    /// [`canary_trace::metrics::peak_rss_bytes`]). **Volatile**: never
+    /// compared across runs; 0 where the platform has no accounting.
+    pub peak_rss: u64,
 }
 
 /// Per-run measurements, the raw material for the Fig. 7/8 harnesses.
@@ -160,6 +166,9 @@ pub struct Metrics {
     pub vfg_bytes: usize,
     /// Interned SMT terms (guard memory).
     pub term_count: usize,
+    /// Approximate term-table bytes (Fig. 7b guard-memory accounting;
+    /// deterministic, unlike the RSS gauges).
+    pub term_bytes: usize,
     /// Time in Alg. 1.
     pub t_dataflow: Duration,
     /// Time in Alg. 2.
@@ -174,6 +183,9 @@ pub struct Metrics {
     pub dataflow_phase: PhaseStats,
     /// Scheduling shape of the Alg. 2 phase.
     pub interference_phase: PhaseStats,
+    /// Scheduling shape of the §5 detection phase (tasks = SMT
+    /// queries, workers = parallel solver threads).
+    pub detect_phase: PhaseStats,
     /// Witness schedules replayed by the concrete oracle (0 unless
     /// [`CanaryConfig::verify_witnesses`] is on).
     pub witnesses_checked: usize,
@@ -226,6 +238,90 @@ impl Metrics {
         v.sort_by_key(|p| (std::cmp::Reverse((p.stmt_visits, p.summary_cells)), p.func));
         v.truncate(k);
         v
+    }
+
+    /// Builds the run-health [`MetricsRegistry`] from this run's
+    /// measurements: the canonical export surface behind
+    /// `--metrics-out` and the `metrics.registry` JSON block.
+    ///
+    /// Family classification (see `canary_trace::metrics`): everything
+    /// is deterministic across `--threads` values; the `*_seconds` and
+    /// `*_rss_*` families are volatile (wall clock / OS accounting) and
+    /// the `canary_solver_*` families are strategy-sensitive (the CDCL
+    /// work the incremental back-end saves).
+    ///
+    /// [`MetricsRegistry`]: canary_trace::metrics::MetricsRegistry
+    pub fn to_registry(&self) -> canary_trace::metrics::MetricsRegistry {
+        use canary_trace::metrics::{MetricsRegistry, DECISION_BUCKETS, SECONDS_BUCKETS};
+        let mut reg = MetricsRegistry::new();
+        let g = |reg: &mut MetricsRegistry, name, help, v: f64| {
+            reg.set_gauge(name, help, &[], v);
+        };
+        g(&mut reg, "canary_program_statements", "Statements in the bounded program", self.stmt_count as f64);
+        g(&mut reg, "canary_program_threads", "Static threads in the program", self.thread_count as f64);
+        g(&mut reg, "canary_vfg_nodes", "VFG nodes after Alg. 1 + Alg. 2", self.vfg_nodes as f64);
+        g(&mut reg, "canary_vfg_edges", "VFG edges after Alg. 1 + Alg. 2", self.vfg_edges as f64);
+        g(&mut reg, "canary_vfg_interference_edges", "Interference edges added by Alg. 2", self.interference_edges as f64);
+        g(&mut reg, "canary_vfg_bytes", "Approximate VFG arena bytes (deterministic)", self.vfg_bytes as f64);
+        g(&mut reg, "canary_term_table_terms", "Interned SMT terms", self.term_count as f64);
+        g(&mut reg, "canary_term_table_bytes", "Approximate term-table bytes (deterministic)", self.term_bytes as f64);
+        g(&mut reg, "canary_escaped_objects", "Escaped objects found by Alg. 2", self.escaped_objects as f64);
+        g(&mut reg, "canary_worker_threads", "Configured front-end worker threads", self.worker_threads as f64);
+
+        let c = |reg: &mut MetricsRegistry, name, help, v: f64| {
+            reg.add_counter(name, help, &[], v);
+        };
+        c(&mut reg, "canary_mhp_lock_pruned", "Store/load pairs discharged by lock-based MHP sharpening", self.mhp_lock_pruned as f64);
+        let d = &self.detect;
+        c(&mut reg, "canary_detect_candidate_paths", "Candidate source-sink paths enumerated", d.candidate_paths as f64);
+        c(&mut reg, "canary_detect_queries", "SMT queries issued", d.queries as f64);
+        c(&mut reg, "canary_detect_prefiltered", "Queries answered by the semi-decision prefilter", d.prefiltered as f64);
+        c(&mut reg, "canary_detect_confirmed", "Reports surviving SMT validation (pre-dedup)", d.confirmed as f64);
+        c(&mut reg, "canary_detect_reports_deduped", "Fingerprint-equal findings collapsed before emission", self.reports_deduped as f64);
+        c(&mut reg, "canary_detect_witnesses_checked", "Witness schedules replayed by the oracle", self.witnesses_checked as f64);
+        c(&mut reg, "canary_detect_witnesses_confirmed", "Replays that concretely fired the claimed bug", self.witnesses_confirmed as f64);
+        c(&mut reg, "canary_solver_decisions", "CDCL decisions across all validation queries", d.decisions as f64);
+        c(&mut reg, "canary_solver_conflicts", "CDCL conflicts across all validation queries", d.conflicts as f64);
+        c(&mut reg, "canary_solver_propagations", "Unit propagations across all validation queries", d.propagations as f64);
+        c(&mut reg, "canary_solver_learned", "Learned clauses retained across all validation queries", d.learned as f64);
+        c(&mut reg, "canary_solver_theory_lemmas", "Theory (order-cycle) lemmas fed back", d.theory_lemmas as f64);
+        c(&mut reg, "canary_solver_families", "Query families formed by the incremental strategy", d.families as f64);
+        c(&mut reg, "canary_solver_memo_hits", "Queries answered from the hash-consed result memo", d.memo_hits as f64);
+        c(&mut reg, "canary_solver_core_subsumed", "Queries refuted by UNSAT-core subsumption", d.core_subsumed as f64);
+        c(&mut reg, "canary_solver_incremental_queries", "Queries solved on a persistent family solver", d.incremental as f64);
+        c(&mut reg, "canary_solver_clauses_retained", "Learned clauses alive on family solvers at family end", d.clauses_retained as f64);
+
+        for (phase, s) in [
+            ("dataflow", &self.dataflow_phase),
+            ("interference", &self.interference_phase),
+            ("detect", &self.detect_phase),
+        ] {
+            let labels = [("phase", phase)];
+            reg.set_gauge("canary_phase_workers", "Worker threads the phase ran with", &labels, s.workers as f64);
+            reg.set_gauge("canary_phase_tasks", "Independent work items the phase executed", &labels, s.tasks as f64);
+            reg.set_gauge("canary_phase_wall_seconds", "Phase wall-clock time (volatile)", &labels, s.wall.as_secs_f64());
+            reg.set_gauge("canary_phase_peak_rss_bytes", "Process peak RSS at phase end (volatile)", &labels, s.peak_rss as f64);
+        }
+
+        for p in &self.query_profiles {
+            let kind = p.kind.to_string();
+            let labels = [("kind", kind.as_str())];
+            reg.observe(
+                "canary_solver_query_decisions",
+                "CDCL decisions per SMT query, by query family",
+                &labels,
+                &DECISION_BUCKETS,
+                p.decisions as f64,
+            );
+            reg.observe(
+                "canary_smt_query_seconds",
+                "Solve wall time per SMT query, by query family (volatile)",
+                &labels,
+                &SECONDS_BUCKETS,
+                p.wall.as_secs_f64(),
+            );
+        }
+        reg
     }
 }
 
@@ -376,7 +472,8 @@ impl Canary {
             // checkers' queries. Checkers run sequentially, so the
             // cross-checker reuse is deterministic.
             let mut qcache = canary_smt::QueryCache::new();
-            for &kind in &self.config.checkers {
+            let total_checkers = self.config.checkers.len();
+            for (done, &kind) in self.config.checkers.iter().enumerate() {
                 let (rs, refs, profs) = canary_detect::check_kind_traced(
                     &ctx,
                     &mut pool,
@@ -389,6 +486,26 @@ impl Canary {
                 reports.extend(rs);
                 refuted.extend(refs);
                 query_profiles.extend(profs);
+                canary_trace::log(LogLevel::Summary, || {
+                    let done = done + 1;
+                    let elapsed = t0.elapsed();
+                    let eta = if done < total_checkers {
+                        // Linear extrapolation over checkers done so far;
+                        // coarse, but checkers share the query cache so
+                        // later ones only get cheaper.
+                        format!(
+                            ", eta {:?}",
+                            elapsed.mul_f64(total_checkers as f64 / done as f64) - elapsed
+                        )
+                    } else {
+                        String::new()
+                    };
+                    format!(
+                        "detect: checker {done}/{total_checkers} ({kind}) done, \
+                         {} quer(ies), {} report(s) in {elapsed:?}{eta}",
+                        stats.queries, stats.confirmed
+                    )
+                });
             }
             phase.record("queries", stats.queries as u64);
             phase.record("confirmed", stats.confirmed as u64);
@@ -410,8 +527,15 @@ impl Canary {
             )
         });
         metrics.t_detect = t0.elapsed();
+        metrics.detect_phase = PhaseStats {
+            wall: metrics.t_detect,
+            workers: detect_opts.solver.num_threads,
+            tasks: stats.queries,
+            peak_rss: canary_trace::metrics::peak_rss_bytes(),
+        };
         metrics.detect = stats;
         metrics.term_count = pool.len();
+        metrics.term_bytes = pool.approx_bytes();
         metrics.query_profiles = query_profiles;
         let witness_replays = if self.config.verify_witnesses {
             // Replay runs under the same memory model the detector
@@ -492,6 +616,7 @@ impl Canary {
             wall: metrics.t_dataflow,
             workers: threads,
             tasks: df.tasks,
+            peak_rss: canary_trace::metrics::peak_rss_bytes(),
         };
         canary_trace::log(LogLevel::Summary, || {
             format!(
@@ -524,6 +649,7 @@ impl Canary {
             wall: metrics.t_interference,
             workers: iopts.threads,
             tasks: ir_result.tasks,
+            peak_rss: canary_trace::metrics::peak_rss_bytes(),
         };
         canary_trace::log(LogLevel::Summary, || {
             format!(
@@ -540,6 +666,7 @@ impl Canary {
         metrics.escaped_objects = ir_result.escaped.len();
         metrics.vfg_bytes = df.vfg.approx_bytes();
         metrics.term_count = pool.len();
+        metrics.term_bytes = pool.approx_bytes();
         metrics.func_profiles = df.func_profiles.clone();
         (pool, df, ir_result, cg, ts, metrics)
     }

@@ -195,7 +195,11 @@ pub fn run_traced(
         func_profiles: Vec::new(),
     };
     let mut tasks = 0;
-    for (lvl, level) in cg.bottom_up_levels().into_iter().enumerate() {
+    let levels = cg.bottom_up_levels();
+    let total_levels = levels.len();
+    let total_tasks: usize = levels.iter().map(|l| l.len()).sum();
+    let t_start = std::time::Instant::now();
+    for (lvl, level) in levels.into_iter().enumerate() {
         tasks += level.len();
         let mut level_span = tracer.span(LANE_ALG1, "alg1", lvl as u64, || {
             format!("alg1.level:{lvl}")
@@ -223,6 +227,22 @@ pub fn run_traced(
             commit_task(&mut shared, pool, out);
         }
         level_span.finish();
+        canary_trace::log(canary_trace::LogLevel::Summary, || {
+            let done_levels = lvl + 1;
+            let elapsed = t_start.elapsed();
+            // ETA scales remaining *tasks* by observed per-task cost:
+            // levels are wildly uneven, task counts are the honest unit.
+            let eta = if done_levels < total_levels && tasks > 0 {
+                let per_task = elapsed.div_f64(tasks as f64);
+                format!(", eta {:?}", per_task.mul_f64((total_tasks - tasks) as f64))
+            } else {
+                String::new()
+            };
+            format!(
+                "alg1: level {done_levels}/{total_levels} committed, \
+                 {tasks}/{total_tasks} task(s) in {elapsed:?}{eta}"
+            )
+        });
     }
     DataflowResult {
         vfg: shared.vfg,

@@ -61,6 +61,11 @@ pub struct DetectOptions {
     /// Compute minimized refutation cores for dismissed candidates
     /// (diagnostics; costs extra solver calls per refuted candidate).
     pub explain_refutations: bool,
+    /// Slow-query watchdog budget in milliseconds: any SMT query whose
+    /// wall time meets the budget is logged to stderr with its
+    /// [`QueryProfile`] attribution, independent of `CANARY_LOG`.
+    /// `None` (the default) disables the watchdog.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for DetectOptions {
@@ -72,6 +77,7 @@ impl Default for DetectOptions {
             sync_constraints: true,
             memory_model: MemoryModel::Sc,
             explain_refutations: false,
+            slow_query_ms: None,
         }
     }
 }
@@ -475,8 +481,44 @@ fn validate(
                 args
             },
         );
+        if let Some(budget_ms) = opts.slow_query_ms {
+            if p.wall.as_millis() as u64 >= budget_ms {
+                // Watchdog output is opt-in via the budget itself, so it
+                // bypasses CANARY_LOG: asking for it means wanting it.
+                eprintln!(
+                    "canary: slow-query: {} {}->{} took {:?} (budget {budget_ms}ms): \
+                     path_len={} bool_atoms={} order_atoms={} decisions={} conflicts={} \
+                     propagations={} learned={} theory_lemmas={} sat={} prefiltered={} \
+                     memo_hit={} core_subsumed={} incremental={}",
+                    p.kind,
+                    p.source.0,
+                    p.sink.0,
+                    p.wall,
+                    p.path_len,
+                    p.bool_atoms,
+                    p.order_atoms,
+                    p.decisions,
+                    p.conflicts,
+                    p.propagations,
+                    p.learned,
+                    p.theory_lemmas,
+                    p.sat,
+                    p.prefiltered,
+                    p.memo_hit,
+                    p.core_subsumed,
+                    p.incremental,
+                );
+            }
+        }
         profiles.push(p);
     }
+    canary_trace::log(canary_trace::LogLevel::Summary, || {
+        format!(
+            "detect: {kind}: {} quer(ies) across {} famil(ies) solved",
+            outcomes.len(),
+            grouped.families
+        )
+    });
     let results: Vec<SmtResult> = outcomes.iter().map(|o| o.result).collect();
     let mut seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
     let mut refuted_seen: HashSet<(BugKind, Label, Label)> = HashSet::new();

@@ -185,6 +185,7 @@ struct PendingEdge {
 impl InterferenceAnalysis<'_> {
     fn fixpoint(&mut self, df: &mut DataflowResult, tracer: &Tracer) -> usize {
         let mut rounds = 0;
+        let t_start = std::time::Instant::now();
         loop {
             rounds += 1;
             let mut changed = false;
@@ -227,7 +228,28 @@ impl InterferenceAnalysis<'_> {
                     self.interference_edges
                 )
             });
-            if !changed || rounds >= self.opts.max_rounds {
+            let done = !changed || rounds >= self.opts.max_rounds;
+            canary_trace::log(canary_trace::LogLevel::Summary, || {
+                // No round-count ETA: fixpoint depth is unknowable up
+                // front, so report convergence state instead.
+                let state = if !changed {
+                    " (converged)"
+                } else if done {
+                    " (round budget reached)"
+                } else {
+                    ""
+                };
+                format!(
+                    "alg2: round {rounds}/{}{state} — {} escaped, {} interference \
+                     edge(s), {} task(s) in {:?}",
+                    self.opts.max_rounds,
+                    self.escaped.len(),
+                    self.interference_edges,
+                    self.tasks,
+                    t_start.elapsed()
+                )
+            });
+            if done {
                 return rounds;
             }
         }

@@ -47,6 +47,12 @@ pub struct RunManifest {
     pub threads: usize,
     /// Remaining configuration knobs as sorted `(key, value)` pairs.
     pub config: Vec<(String, String)>,
+    /// The producing crate version (`CARGO_PKG_VERSION`), so diffed
+    /// runs are traceable to a build.
+    pub canary_version: String,
+    /// The compiler that built the producing binary (`rustc --version`
+    /// captured at build time; empty when unavailable).
+    pub rustc_version: String,
     /// Phase wall times in milliseconds. **Nondeterministic** — these
     /// live under `invocations[0].properties.timings` so determinism
     /// checks can normalize exactly one subtree.
@@ -150,6 +156,10 @@ pub fn sarif_document(prog: &Program, reports: &[BugReport], manifest: &RunManif
             "invocations": [{
                 "executionSuccessful": true,
                 "properties": {
+                    "build": {
+                        "canaryVersion": manifest.canary_version,
+                        "rustcVersion": manifest.rustc_version,
+                    },
                     "config": Value::Object(config),
                     "corpusHash": manifest.corpus_hash,
                     "strategy": manifest.strategy,
@@ -365,6 +375,8 @@ mod tests {
             strategy: "incremental".into(),
             threads: 1,
             config: vec![("memory_model".into(), "sc".into())],
+            canary_version: "0.0.0-test".into(),
+            rustc_version: "rustc 0.0.0-test".into(),
             timings_ms: vec![("detect".into(), 1.5)],
         }
     }

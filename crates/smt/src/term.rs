@@ -109,6 +109,27 @@ impl TermPool {
         self.nodes.len() <= 2
     }
 
+    /// Approximate heap footprint of the term table in bytes (the
+    /// Fig. 7b guard-memory accounting): interned nodes, their N-ary
+    /// child vectors, and the dedup index. Deterministic — it depends
+    /// only on which terms were interned, never on timing or threads.
+    pub fn approx_bytes(&self) -> usize {
+        let node = std::mem::size_of::<Node>();
+        let child = std::mem::size_of::<TermId>();
+        let children: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                Node::And(xs) | Node::Or(xs) => xs.len() * child,
+                _ => 0,
+            })
+            .sum();
+        // The dedup map stores each node again plus a TermId value and
+        // roughly one word of bucket overhead per entry.
+        let dedup_entry = node + child + std::mem::size_of::<usize>();
+        self.nodes.len() * node + 2 * children + self.dedup.len() * dedup_entry
+    }
+
     /// The node behind a term id.
     #[inline]
     pub fn node(&self, t: TermId) -> &Node {

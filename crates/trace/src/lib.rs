@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod metrics;
+
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
@@ -370,8 +372,37 @@ pub fn parse_log_level(v: &str) -> LogLevel {
     }
 }
 
-/// The process-wide log level (reads `CANARY_LOG` once).
+/// Strictly parses a `--log` CLI value: exactly `off`, `summary` or
+/// `debug` (case-insensitive). Unlike the lenient env-var parser,
+/// unknown values are `None` so the CLI can exit with a usage error.
+pub fn parse_log_level_strict(v: &str) -> Option<LogLevel> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "off" => Some(LogLevel::Off),
+        "summary" => Some(LogLevel::Summary),
+        "debug" => Some(LogLevel::Debug),
+        _ => None,
+    }
+}
+
+/// Explicit log-level override (`--log`): 0 = none, else level + 1.
+static LOG_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the process-wide log level, taking precedence over the
+/// `CANARY_LOG` environment variable (which is read once and cached —
+/// this is the only supported way to change verbosity after startup).
+pub fn set_log_level(level: LogLevel) {
+    LOG_OVERRIDE.store(level as u8 + 1, Ordering::Relaxed);
+}
+
+/// The process-wide log level: the [`set_log_level`] override when one
+/// was installed, else `CANARY_LOG` (read once).
 pub fn log_level() -> LogLevel {
+    match LOG_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return LogLevel::Off,
+        2 => return LogLevel::Summary,
+        3 => return LogLevel::Debug,
+        _ => {}
+    }
     static LEVEL: OnceLock<LogLevel> = OnceLock::new();
     *LEVEL.get_or_init(|| {
         std::env::var("CANARY_LOG")
@@ -482,5 +513,30 @@ mod tests {
         assert_eq!(parse_log_level("debug"), LogLevel::Debug);
         assert!(LogLevel::Debug > LogLevel::Summary);
         assert!(LogLevel::Summary > LogLevel::Off);
+    }
+
+    #[test]
+    fn strict_log_level_rejects_aliases_and_junk() {
+        assert_eq!(parse_log_level_strict("off"), Some(LogLevel::Off));
+        assert_eq!(parse_log_level_strict("Summary"), Some(LogLevel::Summary));
+        assert_eq!(parse_log_level_strict("DEBUG"), Some(LogLevel::Debug));
+        assert_eq!(parse_log_level_strict("info"), None);
+        assert_eq!(parse_log_level_strict("1"), None);
+        assert_eq!(parse_log_level_strict(""), None);
+    }
+
+    #[test]
+    fn log_override_takes_precedence_over_env() {
+        // The env cache may already be initialized by other tests; the
+        // override must win regardless, and be re-settable.
+        set_log_level(LogLevel::Debug);
+        assert_eq!(log_level(), LogLevel::Debug);
+        set_log_level(LogLevel::Off);
+        assert_eq!(log_level(), LogLevel::Off);
+        set_log_level(LogLevel::Summary);
+        assert_eq!(log_level(), LogLevel::Summary);
+        // Restore "no override" is impossible by design (the CLI sets
+        // it once); leave it Off so other tests' stderr stays quiet.
+        set_log_level(LogLevel::Off);
     }
 }

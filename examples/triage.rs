@@ -98,6 +98,8 @@ fn main() {
         strategy: "incremental".into(),
         threads: 1,
         config: vec![],
+        canary_version: env!("CARGO_PKG_VERSION").into(),
+        rustc_version: String::new(),
         timings_ms: vec![],
     };
     let before = sarif_document(&prog, &outcome.reports, &manifest("before"));

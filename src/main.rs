@@ -3,6 +3,7 @@
 //! ```text
 //! canary <program.cir> [options]
 //! canary diff <baseline.sarif> <current.sarif>
+//! canary bench diff <old.json> <new.json> [--tolerance PCT]
 //!
 //! options:
 //!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak,
@@ -39,6 +40,11 @@
 //!                         schedule with the oracle interpreter
 //!   --trace-out FILE      write a Chrome trace-event profile (open in
 //!                         Perfetto or chrome://tracing)
+//!   --metrics-out FILE    write the run-health metrics registry as
+//!                         OpenMetrics text (scrape-ready)
+//!   --slow-query-ms N     log any SMT query at or over N ms to stderr
+//!                         with its full QueryProfile attribution
+//!   --log LEVEL           off, summary or debug; overrides CANARY_LOG
 //!   --stats               print per-phase metrics, solver totals and
 //!                         the hottest queries/functions
 //! ```
@@ -47,9 +53,15 @@
 //! `canary/v1` fingerprints and exits 0 (no new findings), 1 (new
 //! findings) or 2 (error).
 //!
+//! The `bench diff` subcommand compares two bench JSON documents
+//! (`BENCH_*.json`) leaf-by-leaf with a relative tolerance (default
+//! 5%) and exits 0 (within tolerance), 1 (a time/memory/work metric
+//! regressed) or 2 (error) — the CI regression gate over the bench
+//! trajectory. See `docs/observability.md`.
+//!
 //! The `CANARY_LOG` environment variable (`summary` or `debug`) turns
 //! on human-readable progress lines on stderr; stdout stays reserved
-//! for results.
+//! for results. `--log` overrides it per invocation.
 
 // The vendored `json!` macro expands recursively per key; the enriched
 // `--json` metrics block overflows the default limit of 128.
@@ -78,8 +90,10 @@ fn usage() -> ! {
          [--solver-strategy fresh|incremental] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
          [--tool canary|saber|fsam] [--explain] [--verify-witnesses] \
-         [--trace-out FILE] [--stats]\n\
-         \x20      canary diff <baseline.sarif> <current.sarif>"
+         [--trace-out FILE] [--metrics-out FILE] [--slow-query-ms N] \
+         [--log off|summary|debug] [--stats]\n\
+         \x20      canary diff <baseline.sarif> <current.sarif>\n\
+         \x20      canary bench diff <old.json> <new.json> [--tolerance PCT]"
     );
     std::process::exit(2);
 }
@@ -105,6 +119,7 @@ struct Cli {
     stats: bool,
     tool: Tool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
     json_out: Option<String>,
     sarif_out: Option<String>,
     baseline: Option<String>,
@@ -117,6 +132,7 @@ fn parse_args(args: &[String]) -> Cli {
     let mut stats = false;
     let mut tool = Tool::Canary;
     let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut sarif_out: Option<String> = None;
     let mut baseline: Option<String> = None;
@@ -275,6 +291,27 @@ fn parse_args(args: &[String]) -> Cli {
                 let Some(path) = args.get(i) else { usage() };
                 trace_out = Some(path.clone());
             }
+            "--metrics-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                metrics_out = Some(path.clone());
+            }
+            "--slow-query-ms" => {
+                i += 1;
+                let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
+                    usage()
+                };
+                config.detect.slow_query_ms = Some(n);
+            }
+            "--log" => {
+                i += 1;
+                let Some(l) = args.get(i) else { usage() };
+                let Some(level) = canary_trace::parse_log_level_strict(l) else {
+                    eprintln!("unknown log level `{l}` (off|summary|debug)");
+                    usage()
+                };
+                canary_trace::set_log_level(level);
+            }
             "--unroll" => {
                 i += 1;
                 let Some(k) = args.get(i).and_then(|s| s.parse().ok()) else {
@@ -302,6 +339,7 @@ fn parse_args(args: &[String]) -> Cli {
         stats,
         tool,
         trace_out,
+        metrics_out,
         json_out,
         sarif_out,
         baseline,
@@ -357,6 +395,53 @@ fn run_diff(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `canary bench diff <old.json> <new.json> [--tolerance PCT]`
+/// subcommand: compares two bench JSON documents leaf-by-leaf (see
+/// `canary_bench::diff`) and exits 0 when every time/memory/work
+/// metric is within tolerance, 1 on any regression, 2 on error.
+fn run_bench_diff(args: &[String]) -> ExitCode {
+    let mut opts = canary_bench::diff::DiffOptions::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let pct: Option<f64> = args.get(i).and_then(|s| s.parse().ok());
+                let Some(pct) = pct.filter(|p| *p >= 0.0) else {
+                    eprintln!("--tolerance takes a non-negative percentage");
+                    return ExitCode::from(2);
+                };
+                opts.tolerance = pct / 100.0;
+            }
+            _ => paths.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("usage: canary bench diff <old.json> <new.json> [--tolerance PCT]");
+        return ExitCode::from(2);
+    };
+    let (old, new) = match (read_sarif(old_path), read_sarif(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    match canary_bench::diff::diff_bench(&old, &new, &opts) {
+        Ok(diff) => {
+            print!("{}", diff.render());
+            if diff.has_regression() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("canary: bench diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 /// Runs a baseline tool and prints its unguarded findings.
 fn run_baseline(prog: &canary_ir::Program, tool: &Tool) -> ExitCode {
     use canary_baselines::{fsam, saber, Budgeted, Deadline};
@@ -393,6 +478,13 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("diff") {
         return run_diff(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("bench") {
+        if args.get(1).map(String::as_str) == Some("diff") {
+            return run_bench_diff(&args[2..]);
+        }
+        eprintln!("usage: canary bench diff <old.json> <new.json> [--tolerance PCT]");
+        return ExitCode::from(2);
+    }
     let cli = parse_args(&args);
     let src = match std::fs::read_to_string(&cli.file) {
         Ok(s) => s,
@@ -424,6 +516,12 @@ fn main() -> ExitCode {
     let outcome = Canary::with_config(cli.config.clone()).analyze_traced(&prog, &tracer);
     if let Some(path) = &cli.trace_out {
         if let Err(e) = write_output(path, &tracer.export_chrome()) {
+            return e;
+        }
+    }
+    if let Some(path) = &cli.metrics_out {
+        let registry = outcome.metrics.to_registry();
+        if let Err(e) = write_output(path, &registry.to_openmetrics()) {
             return e;
         }
     }
@@ -516,6 +614,8 @@ fn run_manifest(
         corpus_hash: canary_report::content_hash(src.as_bytes()),
         strategy: strategy.to_string(),
         threads: config.threads,
+        canary_version: env!("CARGO_PKG_VERSION").to_string(),
+        rustc_version: env!("CANARY_RUSTC_VERSION").to_string(),
         config: vec![
             ("checkers".into(), checkers.join(",")),
             ("context_depth".into(), config.context_depth.to_string()),
@@ -636,10 +736,13 @@ fn json_document(
             })
             .collect();
         let doc = serde_json::json!({
-            "schema_version": 1,
+            "schema_version": 2,
+            "canary_version": env!("CARGO_PKG_VERSION"),
+            "rustc_version": env!("CANARY_RUSTC_VERSION"),
             "file": cli.file,
             "reports": reports,
             "metrics": {
+                "registry": m.to_registry().to_json(),
                 "statements": m.stmt_count,
                 "threads": m.thread_count,
                 "memory_model": model_name(cli.config.detect.memory_model),

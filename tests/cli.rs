@@ -179,7 +179,7 @@ fn json_document_is_versioned_and_fingerprinted() {
     let path = write_temp("racy_schema.cir", RACY);
     let out = canary_bin().arg(&path).arg("--json").output().unwrap();
     let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
-    assert_eq!(doc["schema_version"], 1, "consumers gate on schema_version");
+    assert_eq!(doc["schema_version"], 2, "consumers gate on schema_version");
     let fp = doc["reports"][0]["fingerprint"].as_str().unwrap();
     assert_eq!(fp.len(), 16, "16 hex digits: {fp}");
     assert!(fp.chars().all(|c| c.is_ascii_hexdigit()), "{fp}");
@@ -212,7 +212,7 @@ fn sarif_format_and_sarif_out_agree() {
 #[test]
 fn unwritable_output_paths_exit_two_cleanly() {
     let path = write_temp("racy_unwritable.cir", RACY);
-    for flag in ["--sarif-out", "--json-out", "--trace-out"] {
+    for flag in ["--sarif-out", "--json-out", "--trace-out", "--metrics-out"] {
         let out = canary_bin()
             .arg(&path)
             .args([flag, "/nonexistent-dir/out.file"])
@@ -253,6 +253,109 @@ fn diff_subcommand_validates_its_inputs() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("runs"), "{stderr}");
+}
+
+#[test]
+fn unknown_log_level_is_usage_error() {
+    let path = write_temp("racy_badlog.cir", RACY);
+    let out = canary_bin().arg(&path).args(["--log", "bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown log level"), "{stderr}");
+}
+
+#[test]
+fn json_and_sarif_carry_build_info() {
+    let path = write_temp("racy_build.cir", RACY);
+    let json: serde_json::Value = serde_json::from_slice(
+        &canary_bin().arg(&path).arg("--json").output().unwrap().stdout,
+    )
+    .unwrap();
+    assert_eq!(
+        json["canary_version"].as_str(),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{json}"
+    );
+    assert!(
+        json["rustc_version"].as_str().unwrap().starts_with("rustc"),
+        "{json}"
+    );
+    let sarif: serde_json::Value = serde_json::from_slice(
+        &canary_bin()
+            .arg(&path)
+            .args(["--format", "sarif"])
+            .output()
+            .unwrap()
+            .stdout,
+    )
+    .unwrap();
+    let build = &sarif["runs"][0]["invocations"][0]["properties"]["build"];
+    assert_eq!(
+        build["canaryVersion"].as_str(),
+        Some(env!("CARGO_PKG_VERSION")),
+        "{build}"
+    );
+    assert!(
+        build["rustcVersion"].as_str().unwrap().starts_with("rustc"),
+        "{build}"
+    );
+}
+
+#[test]
+fn bench_diff_gates_on_regressions() {
+    let base = write_temp(
+        "bench_base.json",
+        r#"{"total_s": 2.0, "subjects": [{"name": "s1", "detect_s": 1.0, "vfg_bytes": 1000, "smt_queries": 50}]}"#,
+    );
+    // Self-diff is clean.
+    let out = canary_bin().args(["bench", "diff"]).arg(&base).arg(&base).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+    // A >5% time regression gates exit 1 and names the metric.
+    let slow = write_temp(
+        "bench_slow.json",
+        r#"{"total_s": 3.0, "subjects": [{"name": "s1", "detect_s": 1.5, "vfg_bytes": 1000, "smt_queries": 50}]}"#,
+    );
+    let out = canary_bin().args(["bench", "diff"]).arg(&base).arg(&slow).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("detect_s"), "{stdout}");
+    // An explicit tolerance above the regression accepts it.
+    let out = canary_bin()
+        .args(["bench", "diff"])
+        .arg(&base)
+        .arg(&slow)
+        .args(["--tolerance", "60"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    // Improvements never gate.
+    let out = canary_bin().args(["bench", "diff"]).arg(&slow).arg(&base).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn bench_diff_validates_its_inputs() {
+    // Wrong arity.
+    let out = canary_bin().args(["bench", "diff", "only-one.json"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Unknown bench subcommand.
+    let out = canary_bin().args(["bench", "run"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing files.
+    let out = canary_bin()
+        .args(["bench", "diff", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // No gated numeric leaves on either side.
+    let junk = write_temp("bench_junk.json", r#"{"hello": "world"}"#);
+    let out = canary_bin().args(["bench", "diff"]).arg(&junk).arg(&junk).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("bench diff"), "{stderr}");
 }
 
 #[test]

@@ -45,6 +45,8 @@ fn fixed_manifest(file: &str) -> RunManifest {
         strategy: "fresh".to_string(),
         threads: 1,
         config: vec![("checkers".into(), "all".into())],
+        canary_version: "0.0.0-fixed".to_string(),
+        rustc_version: "rustc 0.0.0-fixed".to_string(),
         timings_ms: vec![],
     }
 }
@@ -459,6 +461,129 @@ fn lock_fingerprints_are_stable_under_line_shifts() {
     let cl_b = run(cl_shifted, "cl_shifted.cir", "conflictlock");
     assert_eq!(cl_a.len(), 1, "{cl_a:?}");
     assert_eq!(cl_a, cl_b, "conflict-lock fingerprint must survive label renumbering");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics-registry determinism: the OpenMetrics export and the `metrics`
+// JSON registry block obey the same contract as the SARIF document —
+// byte-identical across `--threads` values once the volatile families
+// (wall clock, RSS) are normalized, and byte-identical across solver
+// strategies once the strategy-sensitive `canary_solver_*` families
+// are normalized too (the incremental back-end legitimately does less
+// CDCL work — that is PR 4's whole point).
+// ---------------------------------------------------------------------------
+
+use canary_trace::metrics::{normalize_openmetrics, normalize_registry_json};
+
+/// Renders both telemetry artifacts for one configuration.
+fn telemetry(prog: &canary_ir::Program, threads: usize, strategy: SolverStrategy) -> (String, Value) {
+    let outcome = configured(threads, strategy, MemoryModel::Sc).analyze(prog);
+    let registry = outcome.metrics.to_registry();
+    (registry.to_openmetrics(), registry.to_json())
+}
+
+fn normalized_json(mut doc: Value, cross_strategy: bool) -> String {
+    normalize_registry_json(&mut doc, cross_strategy);
+    serde_json::to_string_pretty(&doc).expect("valid json")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn metrics_registry_identical_across_threads_and_strategy(spec in spec_strategy()) {
+        let w = generate(&spec);
+        let (om_1f, js_1f) = telemetry(&w.prog, 1, SolverStrategy::Fresh);
+        let (om_4f, js_4f) = telemetry(&w.prog, 4, SolverStrategy::Fresh);
+        let (om_1i, js_1i) = telemetry(&w.prog, 1, SolverStrategy::Incremental);
+        let (om_4i, js_4i) = telemetry(&w.prog, 4, SolverStrategy::Incremental);
+        // Across threads (fixed strategy): only the volatile families
+        // may differ. Counters, byte gauges and the per-family solver
+        // work histograms must already agree.
+        prop_assert_eq!(
+            normalize_openmetrics(&om_1f, false),
+            normalize_openmetrics(&om_4f, false),
+            "fresh OpenMetrics differs across threads"
+        );
+        prop_assert_eq!(
+            normalize_openmetrics(&om_1i, false),
+            normalize_openmetrics(&om_4i, false),
+            "incremental OpenMetrics differs across threads"
+        );
+        prop_assert_eq!(
+            normalized_json(js_1f.clone(), false),
+            normalized_json(js_4f, false),
+            "fresh registry JSON differs across threads"
+        );
+        prop_assert_eq!(
+            normalized_json(js_1i.clone(), false),
+            normalized_json(js_4i, false),
+            "incremental registry JSON differs across threads"
+        );
+        // Across strategies: additionally quarantine `canary_solver_*`.
+        prop_assert_eq!(
+            normalize_openmetrics(&om_1f, true),
+            normalize_openmetrics(&om_1i, true),
+            "OpenMetrics differs across strategies beyond solver work"
+        );
+        prop_assert_eq!(
+            normalized_json(js_1f, true),
+            normalized_json(js_1i, true),
+            "registry JSON differs across strategies beyond solver work"
+        );
+    }
+}
+
+/// CLI-level check on the shipped example: `--metrics-out` bytes obey
+/// the same normalization contract, and the raw export is well-formed
+/// OpenMetrics text.
+#[test]
+fn cli_metrics_out_is_deterministic_and_well_formed() {
+    let path = fig2_variant();
+    let run = |extra: &[&str]| -> String {
+        let out_path = std::env::temp_dir()
+            .join("canary-report-determinism")
+            .join(format!("metrics-{}.txt", extra.join("_").replace("--", "")));
+        std::fs::create_dir_all(out_path.parent().unwrap()).unwrap();
+        let st = canary_bin()
+            .arg(&path)
+            .args(["--metrics-out", out_path.to_str().unwrap()])
+            .args(extra)
+            .output()
+            .unwrap();
+        assert_eq!(st.status.code(), Some(1), "fig2 variant reports its UAF");
+        std::fs::read_to_string(&out_path).unwrap()
+    };
+    let base = run(&[]);
+    // Well-formed: typed families, counter naming, EOF terminator.
+    assert!(base.ends_with("# EOF\n"), "OpenMetrics needs the EOF marker");
+    for family in [
+        "# TYPE canary_vfg_nodes gauge",
+        "# TYPE canary_detect_queries counter",
+        "canary_detect_queries_total ",
+        "# TYPE canary_phase_wall_seconds gauge",
+        "canary_phase_wall_seconds{phase=\"dataflow\"}",
+        "# TYPE canary_solver_query_decisions histogram",
+        "canary_solver_query_decisions_bucket{kind=\"use-after-free\",le=\"+Inf\"}",
+        "# TYPE canary_term_table_bytes gauge",
+        "# TYPE canary_phase_peak_rss_bytes gauge",
+    ] {
+        assert!(base.contains(family), "missing `{family}` in:\n{base}");
+    }
+    // Byte identity across threads after normalizing volatile families.
+    let threads4 = run(&["--threads", "4"]);
+    assert_eq!(
+        normalize_openmetrics(&base, false),
+        normalize_openmetrics(&threads4, false),
+        "--metrics-out differs across --threads"
+    );
+    // And across strategies after quarantining solver work too.
+    let fresh = run(&["--solver-strategy", "fresh"]);
+    assert_eq!(
+        normalize_openmetrics(&base, true),
+        normalize_openmetrics(&fresh, true),
+        "--metrics-out differs across strategies beyond solver work"
+    );
 }
 
 // ---------------------------------------------------------------------------

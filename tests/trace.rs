@@ -225,3 +225,59 @@ fn canary_log_heartbeats_go_to_stderr_only() {
     assert!(dbg_err.len() >= stderr.len());
     assert!(dbg_err.contains("canary: alg1:"), "{dbg_err}");
 }
+
+#[test]
+fn log_flag_overrides_the_environment() {
+    let src_path = write_temp("variant_logflag.cir", FIG2_VARIANT);
+    // `--log off` silences a run whose environment asks for summary.
+    let off = canary_bin()
+        .arg(&src_path)
+        .env("CANARY_LOG", "summary")
+        .args(["--log", "off"])
+        .output()
+        .unwrap();
+    assert_eq!(off.status.code(), Some(1), "the bug is still reported");
+    assert!(
+        off.stderr.is_empty(),
+        "--log off must win over CANARY_LOG=summary: {}",
+        String::from_utf8_lossy(&off.stderr)
+    );
+    // `--log summary` enables heartbeats without any environment.
+    let on = canary_bin()
+        .arg(&src_path)
+        .env_remove("CANARY_LOG")
+        .args(["--log", "summary"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&on.stderr);
+    for needle in ["canary: alg1:", "canary: alg2:", "canary: detect:"] {
+        assert!(stderr.contains(needle), "missing {needle:?} in {stderr}");
+    }
+    // The heartbeats carry live progress: per-level commits for Alg. 1,
+    // convergence state for Alg. 2, per-checker progress for §5.
+    assert!(stderr.contains("level"), "{stderr}");
+    assert!(stderr.contains("(converged)"), "{stderr}");
+    assert!(stderr.contains("checker"), "{stderr}");
+}
+
+#[test]
+fn slow_query_watchdog_logs_full_attribution() {
+    let src_path = write_temp("variant_slow.cir", FIG2_VARIANT);
+    // A zero budget flags every query; the watchdog is opt-in via the
+    // flag itself and must not require CANARY_LOG.
+    let out = canary_bin()
+        .arg(&src_path)
+        .env_remove("CANARY_LOG")
+        .args(["--slow-query-ms", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("canary: slow-query:"), "{stderr}");
+    for field in ["path_len=", "decisions=", "conflicts=", "sat=", "memo_hit="] {
+        assert!(stderr.contains(field), "missing {field} in {stderr}");
+    }
+    // Default is off: no watchdog lines without the flag.
+    let quiet = canary_bin().arg(&src_path).env_remove("CANARY_LOG").output().unwrap();
+    assert!(quiet.stderr.is_empty());
+}
