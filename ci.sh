@@ -201,3 +201,16 @@ rc=0
     > /tmp/canary_bench_diff.out || rc=$?
 [ "$rc" -eq 1 ]
 grep -q 'REGRESSED' /tmp/canary_bench_diff.out
+# MLoC-scale detect gates (PR-9): the dispatcher/shard/cube equivalence
+# suite serially and with the parallel front-end, then the bench5 smoke
+# — regenerate the saturation-corpus artifact at the committed scale
+# and diff it against the tracked baseline. Work counters are
+# deterministic and must match exactly; wall times get a wide tolerance
+# because CI hosts are noisy and the 4-thread runs time-slice on
+# single-core runners.
+cargo test -q --offline --test shard_equivalence
+CANARY_TEST_THREADS=2 cargo test -q --offline --test shard_equivalence
+CANARY_BENCH_REPS=2 cargo run --release --offline -p canary-bench --bin bench5 -- /tmp/canary_bench5.json
+./target/release/canary bench diff BENCH_5.json /tmp/canary_bench5.json --tolerance 75 \
+    > /tmp/canary_bench5_diff.out
+grep -q '0 regressed' /tmp/canary_bench5_diff.out

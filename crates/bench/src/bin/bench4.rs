@@ -24,33 +24,14 @@
 
 use std::time::Instant;
 
-use canary_bench::{bench_corpus, env_f64};
-use canary_core::{AnalysisOutcome, Canary, CanaryConfig, Metrics};
+use canary_bench::{bench_corpus, env_f64, report_fingerprint};
+use canary_core::{Canary, CanaryConfig, Metrics};
 use canary_smt::SolverStrategy;
 
 fn config(strategy: SolverStrategy) -> CanaryConfig {
     let mut c = CanaryConfig::default();
     c.detect.solver.strategy = strategy;
     c
-}
-
-/// Canonical rendering of everything a strategy must not change;
-/// compared byte-for-byte between fresh and incremental.
-fn report_fingerprint(outcome: &AnalysisOutcome) -> String {
-    let mut s = String::new();
-    for r in &outcome.reports {
-        s.push_str(&format!(
-            "{} {}->{} inter={} path={:?}\n",
-            r.kind, r.source.0, r.sink.0, r.inter_thread, r.path
-        ));
-    }
-    for p in &outcome.metrics.query_profiles {
-        s.push_str(&format!(
-            "q {} {}->{} sat={} pre={}\n",
-            p.kind, p.source.0, p.sink.0, p.sat, p.prefiltered
-        ));
-    }
-    s
 }
 
 struct StrategyRun {

@@ -1,0 +1,292 @@
+//! Compact binary codec for [`FuncSummary`], the payload of the
+//! bounded-memory spill store (`canary-store`).
+//!
+//! Everything a summary holds is dense `u32` ids ([`canary_ir::Label`],
+//! [`canary_ir::VarId`], [`canary_ir::ObjId`], [`canary_smt::TermId`])
+//! plus small enum tags, so the format is a flat little-endian `u32`
+//! stream: no framing, no compression, byte-identical for identical
+//! summaries. Term ids are pool-relative — a decoded summary is only
+//! meaningful against the same [`canary_smt::TermPool`] the encoder
+//! saw, which holds within one analysis run (the store never outlives
+//! the run).
+
+use canary_ir::{Label, ObjId, VarId};
+use canary_smt::TermId;
+
+use crate::analysis::{FuncSummary, ParamLoad};
+use crate::symbols::{Guarded, MemKey, MemVal, Sym};
+
+fn w32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential little-endian `u32` reader over the encoded stream.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn r32(&mut self) -> Option<u32> {
+        let chunk = self.bytes.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(chunk.try_into().ok()?))
+    }
+
+    fn rlen(&mut self) -> Option<usize> {
+        let n = self.r32()? as usize;
+        // A length can't exceed the words left in the stream: rejects
+        // corrupt lengths before they turn into huge allocations.
+        (n <= (self.bytes.len() - self.at) / 4).then_some(n)
+    }
+}
+
+fn w_sym(out: &mut Vec<u8>, s: Option<Sym>) {
+    match s {
+        None => {
+            w32(out, 0);
+            w32(out, 0);
+        }
+        Some(Sym::Obj(o)) => {
+            w32(out, 1);
+            w32(out, o.0);
+        }
+        Some(Sym::Null) => {
+            w32(out, 2);
+            w32(out, 0);
+        }
+        Some(Sym::Param(i)) => {
+            w32(out, 3);
+            w32(out, i as u32);
+        }
+        Some(Sym::DerefParam(i)) => {
+            w32(out, 4);
+            w32(out, i as u32);
+        }
+    }
+}
+
+fn r_sym(r: &mut Reader<'_>) -> Option<Option<Sym>> {
+    let tag = r.r32()?;
+    let payload = r.r32()?;
+    Some(match tag {
+        0 => None,
+        1 => Some(Sym::Obj(ObjId::new(payload))),
+        2 => Some(Sym::Null),
+        3 => Some(Sym::Param(payload as usize)),
+        4 => Some(Sym::DerefParam(payload as usize)),
+        _ => return None,
+    })
+}
+
+/// Encodes a summary to the flat `u32`-LE spill format.
+pub fn encode_summary(s: &FuncSummary) -> Vec<u8> {
+    let mut out = Vec::new();
+    w32(&mut out, s.exit_mem.len() as u32);
+    for (key, cells) in &s.exit_mem {
+        match key {
+            MemKey::Obj(o) => {
+                w32(&mut out, 0);
+                w32(&mut out, o.0);
+            }
+            MemKey::ParamCell(i) => {
+                w32(&mut out, 1);
+                w32(&mut out, *i as u32);
+            }
+        }
+        w32(&mut out, cells.len() as u32);
+        for g in cells {
+            w32(&mut out, g.guard.0);
+            w_sym(&mut out, g.value.pointee);
+            match g.value.origin {
+                None => {
+                    w32(&mut out, 0);
+                    w32(&mut out, 0);
+                    w32(&mut out, 0);
+                }
+                Some((l, v)) => {
+                    w32(&mut out, 1);
+                    w32(&mut out, l.0);
+                    w32(&mut out, v.0);
+                }
+            }
+        }
+    }
+    w32(&mut out, s.param_loads.len() as u32);
+    for p in &s.param_loads {
+        w32(&mut out, p.param as u32);
+        w32(&mut out, p.dst.0);
+        w32(&mut out, p.label.0);
+        w32(&mut out, p.guard.0);
+    }
+    w32(&mut out, s.returns.len() as u32);
+    for (l, g, vars) in &s.returns {
+        w32(&mut out, l.0);
+        w32(&mut out, g.0);
+        w32(&mut out, vars.len() as u32);
+        for v in vars {
+            w32(&mut out, v.0);
+        }
+    }
+    out
+}
+
+/// Decodes a summary from the spill format. Returns `None` on
+/// truncated input, bad enum tags, or trailing bytes.
+pub fn decode_summary(bytes: &[u8]) -> Option<FuncSummary> {
+    let mut r = Reader { bytes, at: 0 };
+    let n_mem = r.rlen()?;
+    let mut exit_mem = Vec::with_capacity(n_mem);
+    for _ in 0..n_mem {
+        let key = match r.r32()? {
+            0 => MemKey::Obj(ObjId::new(r.r32()?)),
+            1 => MemKey::ParamCell(r.r32()? as usize),
+            _ => return None,
+        };
+        let n_cells = r.rlen()?;
+        let mut cells = Vec::with_capacity(n_cells);
+        for _ in 0..n_cells {
+            let guard = TermId(r.r32()?);
+            let pointee = r_sym(&mut r)?;
+            let origin = match r.r32()? {
+                0 => {
+                    r.r32()?;
+                    r.r32()?;
+                    None
+                }
+                1 => Some((Label::new(r.r32()?), VarId::new(r.r32()?))),
+                _ => return None,
+            };
+            cells.push(Guarded::new(guard, MemVal { pointee, origin }));
+        }
+        exit_mem.push((key, cells));
+    }
+    let n_loads = r.rlen()?;
+    let mut param_loads = Vec::with_capacity(n_loads);
+    for _ in 0..n_loads {
+        param_loads.push(ParamLoad {
+            param: r.r32()? as usize,
+            dst: VarId::new(r.r32()?),
+            label: Label::new(r.r32()?),
+            guard: TermId(r.r32()?),
+        });
+    }
+    let n_rets = r.rlen()?;
+    let mut returns = Vec::with_capacity(n_rets);
+    for _ in 0..n_rets {
+        let l = Label::new(r.r32()?);
+        let g = TermId(r.r32()?);
+        let n_vars = r.rlen()?;
+        let mut vars = Vec::with_capacity(n_vars);
+        for _ in 0..n_vars {
+            vars.push(VarId::new(r.r32()?));
+        }
+        returns.push((l, g, vars));
+    }
+    (r.at == bytes.len()).then_some(FuncSummary {
+        exit_mem,
+        param_loads,
+        returns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FuncSummary {
+        FuncSummary {
+            exit_mem: vec![
+                (
+                    MemKey::Obj(ObjId::new(3)),
+                    vec![
+                        Guarded::new(
+                            TermId(7),
+                            MemVal {
+                                pointee: Some(Sym::Obj(ObjId::new(1))),
+                                origin: Some((Label::new(12), VarId::new(4))),
+                            },
+                        ),
+                        Guarded::new(
+                            TermId(0),
+                            MemVal {
+                                pointee: None,
+                                origin: None,
+                            },
+                        ),
+                    ],
+                ),
+                (
+                    MemKey::ParamCell(2),
+                    vec![Guarded::new(
+                        TermId(9),
+                        MemVal {
+                            pointee: Some(Sym::DerefParam(1)),
+                            origin: None,
+                        },
+                    )],
+                ),
+            ],
+            param_loads: vec![ParamLoad {
+                param: 1,
+                dst: VarId::new(8),
+                label: Label::new(20),
+                guard: TermId(5),
+            }],
+            returns: vec![(
+                Label::new(30),
+                TermId(2),
+                vec![VarId::new(0), VarId::new(6)],
+            )],
+        }
+    }
+
+    fn eq(a: &FuncSummary, b: &FuncSummary) -> bool {
+        // FuncSummary has no PartialEq; the codec's byte output is a
+        // faithful canonical form, so compare re-encodings.
+        encode_summary(a) == encode_summary(b)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let s = sample();
+        let bytes = encode_summary(&s);
+        let d = decode_summary(&bytes).unwrap();
+        assert!(eq(&s, &d));
+        assert_eq!(d.exit_mem.len(), 2);
+        assert_eq!(d.param_loads.len(), 1);
+        assert_eq!(d.returns[0].2, vec![VarId::new(0), VarId::new(6)]);
+    }
+
+    #[test]
+    fn empty_summary_round_trips() {
+        let s = FuncSummary::default();
+        let d = decode_summary(&encode_summary(&s)).unwrap();
+        assert!(eq(&s, &d));
+    }
+
+    #[test]
+    fn truncated_and_trailing_input_rejected() {
+        let bytes = encode_summary(&sample());
+        assert!(decode_summary(&bytes[..bytes.len() - 1]).is_none());
+        assert!(decode_summary(&bytes[..4]).is_none());
+        let mut extra = bytes.clone();
+        extra.extend_from_slice(&[0; 4]);
+        assert!(decode_summary(&extra).is_none());
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        let mut bytes = encode_summary(&sample());
+        // First MemKey tag lives right after the leading count.
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        assert!(decode_summary(&bytes).is_none());
+    }
+
+    #[test]
+    fn huge_length_prefix_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        w32(&mut bytes, u32::MAX);
+        assert!(decode_summary(&bytes).is_none());
+    }
+}

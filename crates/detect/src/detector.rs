@@ -118,6 +118,12 @@ pub struct DetectStats {
     /// Learned clauses still alive on family solvers at family end —
     /// reuse the fresh strategy discards between queries.
     pub clauses_retained: u64,
+    /// Family members that blew the conflict budget and escalated to
+    /// cube-and-conquer (0 unless `--cube-split` is armed).
+    pub cube_escalated: u64,
+    /// Cache merge barriers executed by the dispatcher (shard epochs;
+    /// deterministic for a fixed shard count and family list).
+    pub epochs: u64,
 }
 
 /// Per-SMT-query attribution record (§5 validation): which candidate
@@ -157,6 +163,12 @@ pub struct QueryProfile {
     pub core_subsumed: bool,
     /// Solved on a persistent family solver.
     pub incremental: bool,
+    /// Blew the per-member conflict budget on the family solver and
+    /// was re-solved by the deterministic cube-and-conquer sweep.
+    pub cubed: bool,
+    /// Query-family key the query was grouped under (the candidate's
+    /// source label) — the attribution anchor for escalated queries.
+    pub family: u64,
     /// Wall time spent solving (not deterministic).
     pub wall: Duration,
 }
@@ -409,6 +421,7 @@ fn validate(
     let outcomes = grouped.outcomes;
     stats.families += grouped.families;
     stats.clauses_retained += grouped.clauses_retained;
+    stats.epochs += grouped.epochs;
     let mut profiles = Vec::with_capacity(outcomes.len());
     for (qi, (cand, o)) in candidates.iter().zip(&outcomes).enumerate() {
         let (bool_atoms, order_atoms) = count_atoms(pool, cand.query);
@@ -433,6 +446,8 @@ fn validate(
             memo_hit: o.memo_hit,
             core_subsumed: o.core_subsumed,
             incremental: o.incremental,
+            cubed: o.cubed,
+            family: cand.family,
             wall: o.wall,
         };
         // Aggregate only the per-query counters (not the shared atomics,
@@ -447,6 +462,7 @@ fn validate(
         stats.memo_hits += u64::from(p.memo_hit);
         stats.core_subsumed += u64::from(p.core_subsumed);
         stats.incremental += u64::from(p.incremental);
+        stats.cube_escalated += u64::from(p.cubed);
         tracer.event(
             LANE_SMT,
             "smt.query",
@@ -474,6 +490,7 @@ fn validate(
                     ("memo_hit", u64::from(p.memo_hit)),
                     ("core_subsumed", u64::from(p.core_subsumed)),
                     ("incremental", u64::from(p.incremental)),
+                    ("cubed", u64::from(p.cubed)),
                 ];
                 if p.sat {
                     args.push(("report_fp", fp.0));
@@ -487,13 +504,14 @@ fn validate(
                 // bypasses CANARY_LOG: asking for it means wanting it.
                 eprintln!(
                     "canary: slow-query: {} {}->{} took {:?} (budget {budget_ms}ms): \
-                     path_len={} bool_atoms={} order_atoms={} decisions={} conflicts={} \
-                     propagations={} learned={} theory_lemmas={} sat={} prefiltered={} \
-                     memo_hit={} core_subsumed={} incremental={}",
+                     family={} path_len={} bool_atoms={} order_atoms={} decisions={} \
+                     conflicts={} propagations={} learned={} theory_lemmas={} sat={} \
+                     prefiltered={} memo_hit={} core_subsumed={} incremental={} cubed={}",
                     p.kind,
                     p.source.0,
                     p.sink.0,
                     p.wall,
+                    p.family,
                     p.path_len,
                     p.bool_atoms,
                     p.order_atoms,
@@ -507,16 +525,39 @@ fn validate(
                     p.memo_hit,
                     p.core_subsumed,
                     p.incremental,
+                    p.cubed,
                 );
             }
         }
         profiles.push(p);
     }
     canary_trace::log(canary_trace::LogLevel::Summary, || {
+        // Per-worker loads and steal counts are timing-dependent, so they
+        // live only in this heartbeat line — never in DetectStats or the
+        // metrics registry, which must stay deterministic.
+        let loads = grouped
+            .worker_loads
+            .iter()
+            .map(|l| {
+                if l.stolen > 0 {
+                    format!("{}(+{} stolen)", l.families, l.stolen)
+                } else {
+                    format!("{}", l.families)
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("/");
+        let loads = if loads.is_empty() {
+            String::new()
+        } else {
+            format!(", worker families {loads}")
+        };
         format!(
-            "detect: {kind}: {} quer(ies) across {} famil(ies) solved",
+            "detect: {kind}: {} quer(ies) across {} famil(ies) solved \
+             in {} epoch(s){loads}",
             outcomes.len(),
-            grouped.families
+            grouped.families,
+            grouped.epochs,
         )
     });
     let results: Vec<SmtResult> = outcomes.iter().map(|o| o.result).collect();

@@ -56,8 +56,9 @@ pub use sat::{Lit, SatResult, SatSolver, SatStats, Var};
 pub use simplify::{obviously_false, obviously_true};
 pub use solver::{
     check, check_all, check_all_grouped, check_all_recorded, check_counted, check_witness,
-    check_witness_model, GroupedOutcome, QueryCache, QueryOutcome, QueryStats, SmtResult,
-    SolverOptions, SolverStats, SolverStrategy, WitnessModel,
+    check_witness_model, Dispatch, GroupedOutcome, QueryCache, QueryOutcome, QueryStats, SmtResult,
+    SolverOptions, SolverStats, SolverStrategy, WitnessModel, WorkerLoad, DEFAULT_CUBE_BUDGET,
+    DEFAULT_SHARDS,
 };
 pub use scratch::{ScratchLog, ScratchPool, TermRemap};
 pub use term::{AtomSet, EventId, Node, TermBuild, TermId, TermPool};

@@ -95,6 +95,68 @@ impl SolverStrategy {
     }
 }
 
+/// How [`check_all_grouped`] schedules query families across worker
+/// threads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Fixed batching (the ablation baseline): families are split into
+    /// `num_threads` contiguous chunks, one sweep per worker, with a
+    /// single frozen cache snapshot and one merge barrier for the whole
+    /// batch. A worker that drew a cheap chunk idles while the others
+    /// finish.
+    Static,
+    /// Sharded work stealing (the default): families are sharded by
+    /// group key, workers drain their home shard and then steal whole
+    /// families from other shards in a deterministic scan order; the
+    /// cache snapshot rotates at shard-epoch boundaries that depend
+    /// only on the family list and the shard count — never on worker
+    /// timing — so outcomes stay byte-identical for every thread count.
+    WorkSteal,
+}
+
+impl Dispatch {
+    /// Parses a CLI / env spelling of a dispatcher.
+    pub fn parse(s: &str) -> Option<Dispatch> {
+        match s {
+            "static" => Some(Dispatch::Static),
+            "worksteal" => Some(Dispatch::WorkSteal),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Dispatch::Static => "static",
+            Dispatch::WorkSteal => "worksteal",
+        }
+    }
+
+    /// The default dispatcher, overridable via `CANARY_DISPATCH` (the
+    /// same env-ablation pattern as `CANARY_SOLVER_STRATEGY`).
+    pub fn from_env() -> Dispatch {
+        match std::env::var("CANARY_DISPATCH") {
+            Ok(v) => Dispatch::parse(&v).unwrap_or(Dispatch::WorkSteal),
+            Err(_) => Dispatch::WorkSteal,
+        }
+    }
+}
+
+/// Shard count the work-stealing dispatcher uses when
+/// [`SolverOptions::shards`] is 0 (auto). Deliberately independent of
+/// the worker thread count: shard-epoch boundaries (and therefore
+/// cache-snapshot visibility) must be identical for every `--threads`
+/// value.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Families per shard in one epoch: an epoch spans
+/// `shards × EPOCH_FAMILIES_PER_SHARD` families in family order.
+const EPOCH_FAMILIES_PER_SHARD: usize = 2;
+
+/// Default conflict budget per family member before a
+/// `cube_split`-armed run escalates to cube-and-conquer.
+pub const DEFAULT_CUBE_BUDGET: u64 = 256;
+
 /// Options controlling the solving strategy.
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
@@ -102,10 +164,22 @@ pub struct SolverOptions {
     pub prefilter: bool,
     /// Worker threads for [`check_all`]; 1 disables parallelism.
     pub num_threads: usize,
-    /// Atoms to split on for cube-and-conquer (0 disables).
+    /// Atoms to split on for cube-and-conquer (0 disables). Under the
+    /// incremental strategy this arms *hardness escalation*: a family
+    /// member that exceeds [`SolverOptions::cube_budget`] conflicts on
+    /// the persistent solver is re-solved by a deterministic cube
+    /// sweep (§5.2 opt. 3).
     pub cube_split: usize,
+    /// Conflict budget per family member before a `cube_split`-armed
+    /// run escalates. Ignored when `cube_split` is 0.
+    pub cube_budget: u64,
     /// Fresh-per-query or incremental query-family solving.
     pub strategy: SolverStrategy,
+    /// How grouped batches are scheduled across worker threads.
+    pub dispatch: Dispatch,
+    /// Shard count for the work-stealing dispatcher (0 = auto,
+    /// [`DEFAULT_SHARDS`]).
+    pub shards: usize,
 }
 
 impl Default for SolverOptions {
@@ -114,7 +188,10 @@ impl Default for SolverOptions {
             prefilter: true,
             num_threads: 1,
             cube_split: 0,
+            cube_budget: DEFAULT_CUBE_BUDGET,
             strategy: SolverStrategy::from_env(),
+            dispatch: Dispatch::from_env(),
+            shards: 0,
         }
     }
 }
@@ -145,6 +222,9 @@ pub struct SolverStats {
     pub memo_hits: AtomicU64,
     /// Queries refuted by UNSAT-core subsumption.
     pub core_subsumed: AtomicU64,
+    /// Family members that blew the conflict budget and escalated to
+    /// cube-and-conquer (0 unless `cube_split` is armed).
+    pub cube_escalated: AtomicU64,
 }
 
 impl SolverStats {
@@ -520,6 +600,9 @@ pub struct QueryOutcome {
     /// Solved on a persistent family solver via assumption literals
     /// (as opposed to the fresh-per-query path or a cache hit).
     pub incremental: bool,
+    /// Blew the per-member conflict budget on the family solver and was
+    /// re-solved by the deterministic cube-and-conquer sweep.
+    pub cubed: bool,
 }
 
 /// Solves many independent queries, optionally in parallel (§5.2:
@@ -556,6 +639,7 @@ pub fn check_all_recorded(
             memo_hit: false,
             core_subsumed: false,
             incremental: false,
+            cubed: false,
         }
     };
     if opts.num_threads <= 1 || queries.len() <= 1 {
@@ -705,6 +789,24 @@ pub struct GroupedOutcome {
     /// Learned clauses alive on family solvers at family end — the
     /// state the fresh strategy would have thrown away between queries.
     pub clauses_retained: u64,
+    /// Cache merge barriers executed: shard epochs under
+    /// [`Dispatch::WorkSteal`], 1 for the static dispatcher's single
+    /// batch barrier, 0 under [`SolverStrategy::Fresh`]. Depends only
+    /// on the family list and the shard count, never on worker timing.
+    pub epochs: u64,
+    /// Per-worker load record. Timing-dependent — strictly for progress
+    /// heartbeats, never for reports or metrics.
+    pub worker_loads: Vec<WorkerLoad>,
+}
+
+/// How much work one dispatcher worker ended up doing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerLoad {
+    /// Families this worker solved.
+    pub families: u64,
+    /// Of those, families claimed from a shard other than the worker's
+    /// home shard (always 0 under [`Dispatch::Static`]).
+    pub stolen: u64,
 }
 
 /// Persistent per-family solver state: one [`SatSolver`] carrying the
@@ -714,6 +816,12 @@ struct FamilySolver {
     sat: SatSolver,
     enc: Encoding,
     acts: HashMap<TermId, Lit>,
+    /// Activation literal per shared-prefix conjunct, in prefix order.
+    /// Empty when the prefix is asserted outright (ungated). The
+    /// work-stealing dispatcher gates the prefix too, so assumption
+    /// cores name exactly the responsible conjuncts — shared or delta —
+    /// which leaves the smallest, most subsuming cores in the cache.
+    shared_acts: Vec<(TermId, Lit)>,
     /// Order atoms mentioned by the shared prefix.
     shared_orders: HashSet<(EventId, EventId)>,
     /// Order atoms mentioned by each delta conjunct (memoized).
@@ -721,19 +829,27 @@ struct FamilySolver {
 }
 
 impl FamilySolver {
-    fn new(pool: &TermPool, shared: &[TermId]) -> FamilySolver {
+    fn new(pool: &TermPool, shared: &[TermId], gate_shared: bool) -> FamilySolver {
         let mut sat = SatSolver::new();
         let mut enc = Encoding::default();
         let mut shared_orders = HashSet::new();
         let mut seen = HashSet::new();
+        let mut shared_acts = Vec::new();
         for &c in shared {
-            encode(pool, c, &mut sat, &mut enc);
+            if gate_shared {
+                let l = Lit::pos(sat.new_var());
+                encode_gated(pool, c, &mut sat, &mut enc, l);
+                shared_acts.push((c, l));
+            } else {
+                encode(pool, c, &mut sat, &mut enc);
+            }
             collect_order_atoms(pool, c, &mut seen, &mut shared_orders);
         }
         FamilySolver {
             sat,
             enc,
             acts: HashMap::new(),
+            shared_acts,
             shared_orders,
             delta_orders: HashMap::new(),
         }
@@ -794,6 +910,7 @@ fn solve_family(
     opts: &SolverOptions,
     stats: &SolverStats,
     snapshot: &QueryCache,
+    gate_shared: bool,
 ) -> FamilyOutput {
     let conjs: Vec<Vec<TermId>> = queries.iter().map(|&t| pool.conjuncts_of(t)).collect();
     let mut shared = conjs[0].clone();
@@ -819,6 +936,7 @@ fn solve_family(
         let mut memo_hit = false;
         let mut core_subsumed = false;
         let mut incremental = false;
+        let mut cubed = false;
         // The prefilter runs first in both strategies, so the
         // `prefiltered` counter is strategy-invariant.
         let result = if opts.prefilter && t == pool.tt() {
@@ -842,7 +960,7 @@ fn solve_family(
             stats.solved.fetch_add(1, Ordering::Relaxed);
             incremental = true;
             let was_absent = fam.is_none();
-            let fam = fam.get_or_insert_with(|| FamilySolver::new(pool, &shared));
+            let fam = fam.get_or_insert_with(|| FamilySolver::new(pool, &shared, gate_shared));
             // The member that forced solver construction also pays for
             // encoding the shared prefix (as the fresh path would).
             let base = if was_absent {
@@ -850,7 +968,9 @@ fn solve_family(
             } else {
                 fam.sat.stats
             };
-            let r = solve_member(pool, fam, &shared, &conjs[i], stats, &mut q, &mut local, base);
+            let (r, escalated) =
+                solve_member(pool, fam, t, &shared, &conjs[i], opts, stats, &mut q, &mut local, base);
+            cubed = escalated;
             stats.absorb(&q);
             local.memoize(t, r);
             r
@@ -863,6 +983,7 @@ fn solve_family(
             memo_hit,
             core_subsumed,
             incremental,
+            cubed,
         });
     }
     FamilyOutput {
@@ -883,16 +1004,23 @@ fn solve_family(
 fn solve_member(
     pool: &TermPool,
     fam: &mut FamilySolver,
+    t: TermId,
     shared: &[TermId],
     conj: &[TermId],
+    opts: &SolverOptions,
     stats: &SolverStats,
     q: &mut QueryStats,
     local: &mut QueryCache,
     base: SatStats,
-) -> SmtResult {
+) -> (SmtResult, bool) {
     let deltas = sorted_diff(conj, shared);
-    let mut assumptions = Vec::with_capacity(deltas.len());
-    let mut by_lit: HashMap<Lit, TermId> = HashMap::with_capacity(deltas.len());
+    let mut assumptions = Vec::with_capacity(fam.shared_acts.len() + deltas.len());
+    let mut by_lit: HashMap<Lit, TermId> =
+        HashMap::with_capacity(fam.shared_acts.len() + deltas.len());
+    for &(c, l) in &fam.shared_acts {
+        by_lit.insert(l, c);
+        assumptions.push(l);
+    }
     for &d in &deltas {
         let lit = match fam.acts.get(&d) {
             Some(&l) => l,
@@ -931,10 +1059,68 @@ fn solve_member(
     }
     let before = base;
     let learnt_before = fam.sat.num_learnt() as u64;
+    // Hardness budget (§5.2 opt. 3): with cube splitting armed, a
+    // member that burns through the conflict budget on the family
+    // solver escalates to a deterministic cube sweep *on the same
+    // solver* — the cubes are extra assumption literals over the
+    // member's own atoms, so the Tseitin encoding, the learnt clauses
+    // of the budgeted attempt, and every lemma learnt under one cube
+    // carry over to the next. Sequential sweep on purpose: a parallel
+    // sweep with an early Sat exit would make the per-query work
+    // counters depend on thread timing, breaking their
+    // thread-invariance contract (the metrics registry is compared
+    // byte-for-byte across `--threads` values).
+    let budget = if opts.cube_split > 0 {
+        opts.cube_budget.max(1)
+    } else {
+        u64::MAX
+    };
+    let mut cubed = false;
+    let mut split: Vec<Var> = Vec::new();
+    let mut cube_idx = 0usize;
     let result = loop {
-        match fam.sat.solve_with_assumptions(&assumptions) {
-            SatResult::Unsat => break SmtResult::Unsat,
-            SatResult::Sat(model) => {
+        let solved = if cubed {
+            let mut under_cube = assumptions.clone();
+            under_cube.extend(
+                split
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &v)| Lit::new(v, (cube_idx >> bit) & 1 == 1)),
+            );
+            Some(fam.sat.solve_with_assumptions(&under_cube))
+        } else {
+            let spent = fam.sat.stats.conflicts - before.conflicts;
+            if budget == u64::MAX {
+                Some(fam.sat.solve_with_assumptions(&assumptions))
+            } else {
+                match budget.checked_sub(spent).filter(|&r| r > 0) {
+                    Some(remaining) => {
+                        fam.sat.solve_with_assumptions_limited(&assumptions, remaining)
+                    }
+                    None => None,
+                }
+            }
+        };
+        match solved {
+            None => {
+                stats.cube_escalated.fetch_add(1, Ordering::Relaxed);
+                cubed = true;
+                split = member_split_vars(pool, t, opts.cube_split, fam, &deltas);
+                cube_idx = 0;
+                if std::env::var_os("CANARY_SMT_DEBUG").is_some() {
+                    eprintln!(
+                        "[smt-debug] escalate: deltas={} split={} cubes={}",
+                        deltas.len(),
+                        split.len(),
+                        1usize << split.len(),
+                    );
+                }
+            }
+            Some(SatResult::Unsat) if cubed && cube_idx + 1 < (1usize << split.len()) => {
+                cube_idx += 1;
+            }
+            Some(SatResult::Unsat) => break SmtResult::Unsat,
+            Some(SatResult::Sat(model)) => {
                 let oriented = fam.enc.oriented_edges(&model);
                 let edges: Vec<OrderEdge> = oriented
                     .iter()
@@ -984,29 +1170,101 @@ fn solve_member(
     q.restarts += fam.sat.stats.restarts - before.restarts;
     q.learned += fam.sat.num_learnt() as u64 - learnt_before;
     if result == SmtResult::Unsat {
-        let refuted = if fam.sat.is_ok() {
-            // Shared prefix plus the deltas in the assumption core are
-            // jointly theory-unsat; any superset of that conjunct set
-            // is too.
-            let mut set: Vec<TermId> = shared.to_vec();
-            for l in fam.sat.assumption_core() {
-                if let Some(&d) = by_lit.get(l) {
-                    set.push(d);
+        let refuted = if cubed {
+            // Refuted by the cube sweep: each per-cube assumption core
+            // names cube literals, not just conjunct activations, so no
+            // minimal conjunct core can be certified — record the full
+            // conjunct set (sound: any superset is unsat too).
+            conj.to_vec()
+        } else if fam.sat.is_ok() {
+            if fam.shared_acts.is_empty() {
+                // Ungated shared prefix: it is asserted outright, so it
+                // is implicitly part of every refutation — record the
+                // prefix plus the deltas in the assumption core.
+                let mut set: Vec<TermId> = shared.to_vec();
+                for l in fam.sat.assumption_core() {
+                    if let Some(&d) = by_lit.get(l) {
+                        set.push(d);
+                    }
+                }
+                set.sort_unstable();
+                set.dedup();
+                set
+            } else {
+                // Gated shared prefix: the assumption core names
+                // exactly the responsible conjuncts, shared or delta —
+                // the smallest, most subsuming core the solver can
+                // certify.
+                let mut set: Vec<TermId> = fam
+                    .sat
+                    .assumption_core()
+                    .iter()
+                    .filter_map(|l| by_lit.get(l).copied())
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                if set.is_empty() {
+                    // Conflict independent of every activation literal;
+                    // claim no more than this member's own formula.
+                    conj.to_vec()
+                } else {
+                    set
                 }
             }
-            set.sort_unstable();
-            set.dedup();
-            set
-        } else {
+        } else if fam.shared_acts.is_empty() {
             // The clause set alone went unsat: definitions are
             // conservative, gating clauses are satisfiable by leaving
             // activations off, and lemmas are theory-valid — so the
             // shared prefix by itself is refuted.
             shared.to_vec()
+        } else {
+            // Fully gated encoding refuted at clause level: still a
+            // sound refutation of this member's formula, but nothing
+            // smaller can be certified.
+            conj.to_vec()
         };
         local.insert_core(refuted);
     }
-    result
+    (result, cubed)
+}
+
+/// Deterministic split variables for one member's cube escalation: the
+/// member's most frequent Boolean atoms first (mirroring
+/// [`pick_split_atoms`]), topped up with its delta order atoms, all
+/// resolved to family-solver variables so the cubes can ride the
+/// persistent encoding as assumption literals. Inter-thread queries
+/// are dominated by order atoms, so the top-up is what usually feeds
+/// the sweep. At most `k` variables (≤ `2^k` cubes). An empty result
+/// degenerates into one unbudgeted re-solve on the family solver.
+fn member_split_vars(
+    pool: &TermPool,
+    t: TermId,
+    k: usize,
+    fam: &FamilySolver,
+    deltas: &[TermId],
+) -> Vec<Var> {
+    let mut vars: Vec<Var> = pick_split_atoms(pool, t, k)
+        .into_iter()
+        .filter_map(|a| fam.enc.bool_vars.get(&a).copied())
+        .collect();
+    if vars.len() < k {
+        let mut orders: Vec<Var> = deltas
+            .iter()
+            .flat_map(|d| fam.delta_orders[d].iter())
+            .filter_map(|p| fam.enc.order_vars.get(p).copied())
+            .collect();
+        orders.sort_unstable();
+        orders.dedup();
+        for v in orders {
+            if vars.len() >= k {
+                break;
+            }
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars
 }
 
 /// Like [`check_all_recorded`], but queries carry a *group key*
@@ -1031,6 +1289,8 @@ pub fn check_all_grouped(
             outcomes: check_all_recorded(pool, queries, opts, stats),
             families: 0,
             clauses_retained: 0,
+            epochs: 0,
+            worker_loads: Vec::new(),
         };
     }
     let mut fams: Vec<(usize, usize)> = Vec::new();
@@ -1041,32 +1301,56 @@ pub fn check_all_grouped(
             start = i;
         }
     }
-    let snapshot: &QueryCache = cache;
-    let run = |&(s, e): &(usize, usize)| solve_family(pool, &queries[s..e], opts, stats, snapshot);
-    let outputs: Vec<FamilyOutput> = if opts.num_threads <= 1 || fams.len() <= 1 {
-        fams.iter().map(run).collect()
-    } else {
-        let next = AtomicU64::new(0);
-        let slots: Vec<std::sync::Mutex<Option<FamilyOutput>>> =
-            fams.iter().map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..opts.num_threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed) as usize;
-                    if i >= fams.len() {
-                        return;
-                    }
-                    let out = run(&fams[i]);
-                    *slots[i].lock().expect("no poisoning: workers do not panic") = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().expect("scope joined").expect("all indices visited"))
-            .collect()
+    match opts.dispatch {
+        Dispatch::Static => run_static(pool, queries, &fams, opts, stats, cache),
+        Dispatch::WorkSteal => run_worksteal(pool, queries, groups, &fams, opts, stats, cache),
+    }
+}
+
+/// The fixed-batch dispatcher: families split into `num_threads`
+/// contiguous chunks, one sweep per worker, a single frozen snapshot
+/// and one merge barrier for the whole batch. Kept as the ablation
+/// baseline the work-stealing dispatcher is benchmarked against.
+fn run_static(
+    pool: &TermPool,
+    queries: &[TermId],
+    fams: &[(usize, usize)],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+    cache: &mut QueryCache,
+) -> GroupedOutcome {
+    let n = fams.len();
+    let workers = opts.num_threads.clamp(1, n.max(1));
+    let mut worker_loads = vec![WorkerLoad::default(); workers];
+    let outputs: Vec<FamilyOutput> = {
+        let snapshot: &QueryCache = cache;
+        let run =
+            |&(s, e): &(usize, usize)| solve_family(pool, &queries[s..e], opts, stats, snapshot, false);
+        if workers <= 1 || n <= 1 {
+            worker_loads[0].families = n as u64;
+            fams.iter().map(run).collect()
+        } else {
+            let slots: Vec<std::sync::Mutex<Option<FamilyOutput>>> =
+                fams.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for (w, load) in worker_loads.iter_mut().enumerate() {
+                    let chunk = (w * n / workers)..((w + 1) * n / workers);
+                    load.families = chunk.len() as u64;
+                    let (slots, run) = (&slots, &run);
+                    scope.spawn(move || {
+                        for i in chunk {
+                            *slots[i].lock().expect("no poisoning: workers do not panic") =
+                                Some(run(&fams[i]));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|m| m.into_inner().expect("scope joined").expect("all chunks swept"))
+                .collect()
+        }
     };
-    let families = fams.len() as u64;
     let mut outcomes = Vec::with_capacity(queries.len());
     let mut clauses_retained = 0;
     for out in outputs {
@@ -1076,8 +1360,130 @@ pub fn check_all_grouped(
     }
     GroupedOutcome {
         outcomes,
-        families,
+        families: n as u64,
         clauses_retained,
+        epochs: 1,
+        worker_loads,
+    }
+}
+
+/// The sharded work-stealing dispatcher (the default). Families shard
+/// by group key (`key % shards`); each worker drains its home shard
+/// (`worker % shards`) and then steals whole families from the other
+/// shards in a deterministic scan order — whole families, so the
+/// persistent solver's shared-prefix reuse survives the steal.
+/// Families are processed in *epochs* (contiguous runs of
+/// `shards × EPOCH_FAMILIES_PER_SHARD` families in family order): the
+/// cache snapshot is frozen per epoch and each epoch's additions merge
+/// back in family order at the epoch barrier, so later epochs reuse
+/// earlier epochs' cores and verdicts. Epoch boundaries depend only on
+/// the family list and the shard count — never on the worker count —
+/// which keeps outcomes byte-identical for every `num_threads`.
+fn run_worksteal(
+    pool: &TermPool,
+    queries: &[TermId],
+    groups: &[u64],
+    fams: &[(usize, usize)],
+    opts: &SolverOptions,
+    stats: &SolverStats,
+    cache: &mut QueryCache,
+) -> GroupedOutcome {
+    let shards = if opts.shards > 0 {
+        opts.shards
+    } else {
+        DEFAULT_SHARDS
+    };
+    let epoch_len = (shards * EPOCH_FAMILIES_PER_SHARD).max(1);
+    let n = fams.len();
+    let workers = opts.num_threads.max(1);
+    let mut worker_loads = vec![WorkerLoad::default(); workers];
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut clauses_retained = 0u64;
+    let mut epochs = 0u64;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + epoch_len).min(n);
+        epochs += 1;
+        let epoch_outputs: Vec<FamilyOutput> = {
+            let snapshot: &QueryCache = cache;
+            let run = |&(s, e): &(usize, usize)| {
+                solve_family(pool, &queries[s..e], opts, stats, snapshot, true)
+            };
+            if workers <= 1 || hi - lo <= 1 {
+                worker_loads[0].families += (hi - lo) as u64;
+                fams[lo..hi].iter().map(run).collect()
+            } else {
+                let mut shard_q: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                for (i, f) in fams.iter().enumerate().take(hi).skip(lo) {
+                    let key = groups[f.0];
+                    shard_q[(key % shards as u64) as usize].push(i);
+                }
+                let cursors: Vec<AtomicU64> = (0..shards).map(|_| AtomicU64::new(0)).collect();
+                let slots: Vec<std::sync::Mutex<Option<FamilyOutput>>> =
+                    (lo..hi).map(|_| std::sync::Mutex::new(None)).collect();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let (shard_q, cursors, slots, run) =
+                                (&shard_q, &cursors, &slots, &run);
+                            scope.spawn(move || {
+                                let mut load = WorkerLoad::default();
+                                let home = w % shards;
+                                loop {
+                                    let mut claimed = None;
+                                    for off in 0..shards {
+                                        let sh = (home + off) % shards;
+                                        let c =
+                                            cursors[sh].fetch_add(1, Ordering::Relaxed) as usize;
+                                        if c < shard_q[sh].len() {
+                                            claimed = Some((sh, shard_q[sh][c]));
+                                            break;
+                                        }
+                                    }
+                                    let Some((sh, fi)) = claimed else { break };
+                                    load.families += 1;
+                                    load.stolen += u64::from(sh != home);
+                                    let out = run(&fams[fi]);
+                                    *slots[fi - lo]
+                                        .lock()
+                                        .expect("no poisoning: workers do not panic") = Some(out);
+                                }
+                                load
+                            })
+                        })
+                        .collect();
+                    for (w, h) in handles.into_iter().enumerate() {
+                        let l = h.join().expect("worker threads do not panic");
+                        worker_loads[w].families += l.families;
+                        worker_loads[w].stolen += l.stolen;
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("scope joined")
+                            .expect("all families claimed")
+                    })
+                    .collect()
+            }
+        };
+        // Epoch barrier: commit outcomes and merge cache additions in
+        // family order, so the next epoch's snapshot — identical for
+        // every worker count — includes everything learned so far.
+        for out in epoch_outputs {
+            outcomes.extend(out.outcomes);
+            clauses_retained += out.clauses_retained;
+            cache.merge(out.additions);
+        }
+        lo = hi;
+    }
+    GroupedOutcome {
+        outcomes,
+        families: n as u64,
+        clauses_retained,
+        epochs,
+        worker_loads,
     }
 }
 
@@ -1371,6 +1777,174 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(mk(1), mk(4));
+    }
+
+    /// Query set with enough families to span several work-stealing
+    /// epochs, mixing sat members, an unsat order cycle per third
+    /// family, and duplicate members for the memo.
+    fn epoch_scale_queries(p: &mut TermPool) -> (Vec<TermId>, Vec<u64>) {
+        let mut queries = Vec::new();
+        let mut groups = Vec::new();
+        for src in 0..40u64 {
+            let base = p.order_lt(src as u32 * 10, src as u32 * 10 + 1);
+            for k in 0..3u32 {
+                let d = p.order_lt(k, k + 1);
+                let q = if src % 3 == 0 && k == 2 {
+                    let c1 = p.order_lt(500, 501);
+                    let c2 = p.order_lt(501, 500);
+                    p.and([base, d, c1, c2])
+                } else {
+                    p.and([base, d])
+                };
+                queries.push(q);
+                groups.push(src);
+            }
+        }
+        (queries, groups)
+    }
+
+    #[test]
+    fn dispatchers_and_shard_counts_agree_on_verdicts() {
+        let mut p = TermPool::new();
+        let (queries, groups) = epoch_scale_queries(&mut p);
+        let mk = |dispatch: Dispatch, shards: usize, threads: usize| {
+            let stats = SolverStats::default();
+            let opts = SolverOptions {
+                num_threads: threads,
+                strategy: SolverStrategy::Incremental,
+                dispatch,
+                shards,
+                ..SolverOptions::default()
+            };
+            let mut cache = QueryCache::new();
+            let out = check_all_grouped(&p, &queries, &groups, &opts, &stats, &mut cache);
+            assert_eq!(out.families, 40);
+            (
+                out.outcomes
+                    .iter()
+                    .map(|o| o.result)
+                    .collect::<Vec<SmtResult>>(),
+                out.epochs,
+            )
+        };
+        let (base_verdicts, base_epochs) = mk(Dispatch::WorkSteal, 0, 1);
+        // 40 families at 8 shards × 2 families/shard = 3 epochs.
+        assert_eq!(base_epochs, 3);
+        for (dispatch, shards, threads) in [
+            (Dispatch::WorkSteal, 0, 4),
+            (Dispatch::WorkSteal, 2, 1),
+            (Dispatch::WorkSteal, 2, 4),
+            (Dispatch::WorkSteal, 16, 3),
+            (Dispatch::Static, 0, 1),
+            (Dispatch::Static, 0, 4),
+        ] {
+            let (verdicts, epochs) = mk(dispatch, shards, threads);
+            assert_eq!(
+                verdicts, base_verdicts,
+                "verdicts differ at dispatch={dispatch:?} shards={shards} threads={threads}"
+            );
+            if dispatch == Dispatch::Static {
+                assert_eq!(epochs, 1, "static batching has one barrier");
+            }
+        }
+    }
+
+    #[test]
+    fn worksteal_outcomes_byte_identical_across_thread_counts() {
+        let mut p = TermPool::new();
+        let (queries, groups) = epoch_scale_queries(&mut p);
+        let mk = |threads: usize| {
+            let stats = SolverStats::default();
+            let opts = SolverOptions {
+                num_threads: threads,
+                strategy: SolverStrategy::Incremental,
+                dispatch: Dispatch::WorkSteal,
+                ..SolverOptions::default()
+            };
+            let mut cache = QueryCache::new();
+            let out = check_all_grouped(&p, &queries, &groups, &opts, &stats, &mut cache);
+            out.outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.result,
+                        o.stats,
+                        o.memo_hit,
+                        o.core_subsumed,
+                        o.incremental,
+                        o.cubed,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let one = mk(1);
+        assert_eq!(one, mk(2));
+        assert_eq!(one, mk(4));
+        assert_eq!(one, mk(7));
+    }
+
+    /// Pigeonhole 3→2 as a term: propositionally unsat and needing
+    /// several CDCL conflicts, so a one-conflict budget must escalate.
+    fn php32(p: &mut TermPool) -> TermId {
+        let mut clauses = Vec::new();
+        for i in 0..3u32 {
+            let a = p.bool_atom(i * 2);
+            let b = p.bool_atom(i * 2 + 1);
+            clauses.push(p.or2(a, b));
+        }
+        for j in 0..2u32 {
+            for i1 in 0..3u32 {
+                for i2 in (i1 + 1)..3u32 {
+                    let a = p.bool_atom(i1 * 2 + j);
+                    let na = p.not(a);
+                    let b = p.bool_atom(i2 * 2 + j);
+                    let nb = p.not(b);
+                    clauses.push(p.or2(na, nb));
+                }
+            }
+        }
+        p.and(clauses)
+    }
+
+    #[test]
+    fn cube_escalation_fires_on_hard_member_and_preserves_verdicts() {
+        let mut p = TermPool::new();
+        let hard = php32(&mut p);
+        let o = p.order_lt(1, 2);
+        let easy = p.and2(o, hard); // same family: duplicate-free sibling
+        let queries = [hard, easy];
+        let groups = [3u64, 3];
+        let run = |cube_split: usize, cube_budget: u64| {
+            let stats = SolverStats::default();
+            let opts = SolverOptions {
+                cube_split,
+                cube_budget,
+                strategy: SolverStrategy::Incremental,
+                ..SolverOptions::default()
+            };
+            let mut cache = QueryCache::new();
+            let out = check_all_grouped(&p, &queries, &groups, &opts, &stats, &mut cache);
+            (
+                out.outcomes.iter().map(|o| o.result).collect::<Vec<_>>(),
+                out.outcomes.iter().map(|o| o.cubed).collect::<Vec<_>>(),
+                stats.cube_escalated.load(Ordering::Relaxed),
+            )
+        };
+        let (plain_verdicts, plain_cubed, plain_esc) = run(0, 1);
+        assert!(plain_cubed.iter().all(|&c| !c));
+        assert_eq!(plain_esc, 0);
+        let (cube_verdicts, cube_cubed, cube_esc) = run(3, 1);
+        assert_eq!(cube_verdicts, plain_verdicts, "escalation is a pure optimization");
+        assert!(
+            cube_cubed.iter().any(|&c| c),
+            "a one-conflict budget must escalate the pigeonhole member"
+        );
+        assert!(cube_esc > 0);
+        // A generous budget never escalates.
+        let (gen_verdicts, gen_cubed, gen_esc) = run(3, 1_000_000);
+        assert_eq!(gen_verdicts, plain_verdicts);
+        assert!(gen_cubed.iter().all(|&c| !c));
+        assert_eq!(gen_esc, 0);
     }
 
     #[test]

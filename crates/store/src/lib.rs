@@ -1,0 +1,320 @@
+//! # canary-store
+//!
+//! A bounded-memory spill store for cold analysis artifacts (function
+//! summaries, VFG slices): entries are written once to an append-only
+//! temporary file and a byte-budgeted LRU resident set keeps the hot
+//! ones in memory. The paper analyzes 8.9 MLoC subjects (§7); at that
+//! scale per-function summaries dominate the front-end's memory and the
+//! cold majority can live on disk without slowing the checkers, which
+//! only consult the VFG.
+//!
+//! Determinism contract: every gauge ([`SpillGauges`]) is a pure
+//! function of the `put`/`get` call sequence and the configured byte
+//! budget — eviction is driven by encoded sizes, never by OS memory
+//! accounting — so runs with identical inputs report identical gauges
+//! regardless of thread count or machine.
+//!
+//! The backing file lives in the system temp directory and is removed
+//! when the store is dropped.
+//!
+//! # Examples
+//!
+//! ```
+//! use canary_store::SpillStore;
+//!
+//! let mut store = SpillStore::with_budget(16).unwrap(); // 16-byte resident set
+//! store.put(0, vec![1; 12]).unwrap();
+//! store.put(1, vec![2; 12]).unwrap(); // evicts entry 0 from memory
+//! assert_eq!(store.get(0).unwrap().unwrap(), vec![1; 12]); // reloaded from disk
+//! assert_eq!(store.gauges().evictions, 2);
+//! assert_eq!(store.gauges().reloads, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counter distinguishing stores created by the same process.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Deterministic spill accounting, exported as `canary_spill_*` gauges.
+///
+/// All fields are pure functions of the call sequence and budget; none
+/// consult OS memory accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpillGauges {
+    /// Total bytes appended to the backing file (monotone).
+    pub bytes_written: u64,
+    /// Distinct entries the store holds (on disk; a superset of the
+    /// resident set).
+    pub entries: u64,
+    /// Resident entries dropped to stay within the byte budget.
+    pub evictions: u64,
+    /// `get` calls served by reading the backing file because the
+    /// entry had been evicted.
+    pub reloads: u64,
+    /// Bytes currently held by the resident set (≤ `budget_bytes`
+    /// whenever the budget can hold at least one entry).
+    pub resident_bytes: u64,
+    /// The configured resident-set byte budget.
+    pub budget_bytes: u64,
+}
+
+/// An append-only on-disk store with a byte-budgeted LRU resident set.
+///
+/// Keys are dense `u32` ids (function ids in practice). `put` always
+/// persists to disk and admits the entry to the resident set, evicting
+/// least-recently-used entries until the set fits the budget; `get`
+/// serves residents without IO and reloads evicted entries from disk.
+#[derive(Debug)]
+pub struct SpillStore {
+    file: File,
+    path: PathBuf,
+    /// id → (offset, len) in the backing file; rewritten entries keep
+    /// only the newest location (the file is append-only).
+    index: HashMap<u32, (u64, u32)>,
+    resident: HashMap<u32, Vec<u8>>,
+    /// LRU order, oldest first. Touching an id moves it to the back;
+    /// ids are unique in the queue.
+    recency: VecDeque<u32>,
+    write_offset: u64,
+    gauges: SpillGauges,
+}
+
+impl SpillStore {
+    /// Creates a store whose resident set is capped at `budget_bytes`.
+    ///
+    /// A budget of 0 keeps nothing resident: every `get` reloads from
+    /// disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the IO error if the backing file cannot be created in
+    /// the system temp directory.
+    pub fn with_budget(budget_bytes: u64) -> io::Result<Self> {
+        let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "canary-spill-{}-{}.bin",
+            std::process::id(),
+            seq
+        ));
+        let file = OpenOptions::new()
+            .create_new(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        Ok(SpillStore {
+            file,
+            path,
+            index: HashMap::new(),
+            resident: HashMap::new(),
+            recency: VecDeque::new(),
+            write_offset: 0,
+            gauges: SpillGauges {
+                budget_bytes,
+                ..SpillGauges::default()
+            },
+        })
+    }
+
+    /// Persists `bytes` under `id` and admits the entry to the resident
+    /// set (evicting older entries if the budget demands it). Re-putting
+    /// an id supersedes its previous contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-file write errors.
+    pub fn put(&mut self, id: u32, bytes: Vec<u8>) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(self.write_offset))?;
+        self.file.write_all(&bytes)?;
+        let len = bytes.len() as u32;
+        if self.index.insert(id, (self.write_offset, len)).is_none() {
+            self.gauges.entries += 1;
+        }
+        self.write_offset += u64::from(len);
+        self.gauges.bytes_written += u64::from(len);
+        self.admit(id, bytes);
+        Ok(())
+    }
+
+    /// Fetches the entry stored under `id`, reloading it from disk (and
+    /// re-admitting it to the resident set) if it was evicted. Returns
+    /// `None` for ids never stored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backing-file read errors.
+    pub fn get(&mut self, id: u32) -> io::Result<Option<Vec<u8>>> {
+        if let Some(bytes) = self.resident.get(&id) {
+            let out = bytes.clone();
+            self.touch(id);
+            return Ok(Some(out));
+        }
+        let Some(&(off, len)) = self.index.get(&id) else {
+            return Ok(None);
+        };
+        let mut buf = vec![0u8; len as usize];
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(&mut buf)?;
+        self.gauges.reloads += 1;
+        self.admit(id, buf.clone());
+        Ok(Some(buf))
+    }
+
+    /// Whether `id` has ever been stored.
+    pub fn contains(&self, id: u32) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Number of distinct entries (resident or spilled).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Current deterministic accounting.
+    pub fn gauges(&self) -> SpillGauges {
+        self.gauges
+    }
+
+    /// Inserts into the resident set and evicts LRU entries until the
+    /// set fits the budget. The incoming entry itself is evicted last,
+    /// so an over-budget entry passes through without pinning memory.
+    fn admit(&mut self, id: u32, bytes: Vec<u8>) {
+        let len = bytes.len() as u64;
+        if let Some(old) = self.resident.insert(id, bytes) {
+            self.gauges.resident_bytes -= old.len() as u64;
+        }
+        self.gauges.resident_bytes += len;
+        self.touch(id);
+        while self.gauges.resident_bytes > self.gauges.budget_bytes {
+            let Some(victim) = self.recency.pop_front() else {
+                break;
+            };
+            if let Some(old) = self.resident.remove(&victim) {
+                self.gauges.resident_bytes -= old.len() as u64;
+                self.gauges.evictions += 1;
+            }
+        }
+    }
+
+    /// Moves `id` to the most-recently-used end of the queue.
+    fn touch(&mut self, id: u32) {
+        if let Some(pos) = self.recency.iter().position(|&x| x == id) {
+            self.recency.remove(pos);
+        }
+        self.recency.push_back(id);
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_resident() {
+        let mut s = SpillStore::with_budget(1 << 20).unwrap();
+        s.put(3, vec![9, 8, 7]).unwrap();
+        assert_eq!(s.get(3).unwrap().unwrap(), vec![9, 8, 7]);
+        assert_eq!(s.gauges().reloads, 0, "resident hit must not touch disk");
+        assert_eq!(s.gauges().entries, 1);
+        assert_eq!(s.gauges().bytes_written, 3);
+    }
+
+    #[test]
+    fn missing_id_is_none() {
+        let mut s = SpillStore::with_budget(64).unwrap();
+        assert_eq!(s.get(42).unwrap(), None);
+        assert!(!s.contains(42));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_lru_and_reload_restores() {
+        let mut s = SpillStore::with_budget(8).unwrap();
+        s.put(0, vec![0; 4]).unwrap();
+        s.put(1, vec![1; 4]).unwrap();
+        assert_eq!(s.gauges().evictions, 0);
+        assert_eq!(s.gauges().resident_bytes, 8);
+        // Touch 0 so 1 becomes the LRU victim.
+        s.get(0).unwrap().unwrap();
+        s.put(2, vec![2; 4]).unwrap();
+        assert_eq!(s.gauges().evictions, 1);
+        // 1 was evicted: fetching it reloads from disk and in turn
+        // evicts the now-oldest resident (0).
+        assert_eq!(s.get(1).unwrap().unwrap(), vec![1; 4]);
+        assert_eq!(s.gauges().reloads, 1);
+        assert_eq!(s.gauges().evictions, 2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.gauges().resident_bytes, 8);
+    }
+
+    #[test]
+    fn zero_budget_keeps_nothing_resident() {
+        let mut s = SpillStore::with_budget(0).unwrap();
+        s.put(7, vec![1, 2]).unwrap();
+        assert_eq!(s.gauges().resident_bytes, 0);
+        assert_eq!(s.get(7).unwrap().unwrap(), vec![1, 2]);
+        assert_eq!(s.gauges().reloads, 1);
+        assert_eq!(s.get(7).unwrap().unwrap(), vec![1, 2]);
+        assert_eq!(s.gauges().reloads, 2);
+    }
+
+    #[test]
+    fn overwrite_supersedes_and_counts_once() {
+        let mut s = SpillStore::with_budget(1 << 10).unwrap();
+        s.put(5, vec![1; 10]).unwrap();
+        s.put(5, vec![2; 6]).unwrap();
+        assert_eq!(s.gauges().entries, 1);
+        assert_eq!(s.gauges().bytes_written, 16);
+        assert_eq!(s.gauges().resident_bytes, 6);
+        assert_eq!(s.get(5).unwrap().unwrap(), vec![2; 6]);
+        // Evict and reload: disk must also serve the newest version.
+        let mut s = SpillStore::with_budget(0).unwrap();
+        s.put(5, vec![1; 10]).unwrap();
+        s.put(5, vec![2; 6]).unwrap();
+        assert_eq!(s.get(5).unwrap().unwrap(), vec![2; 6]);
+    }
+
+    #[test]
+    fn backing_file_removed_on_drop() {
+        let path;
+        {
+            let mut s = SpillStore::with_budget(8).unwrap();
+            s.put(0, vec![1; 32]).unwrap();
+            path = s.path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn gauges_deterministic_for_same_sequence() {
+        let run = || {
+            let mut s = SpillStore::with_budget(24).unwrap();
+            for id in 0..8u32 {
+                s.put(id, vec![id as u8; 8]).unwrap();
+            }
+            for id in (0..8u32).rev() {
+                s.get(id).unwrap().unwrap();
+            }
+            s.gauges()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -179,7 +179,11 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let benign_victims: Vec<FuncId> = (0..spec.benign_patterns)
         .map(|i| b.func(&format!("benign_victim_{i}"), &["c"]))
         .collect();
-    let contra_writers: Vec<FuncId> = (0..spec.contradiction_patterns)
+    let hard_count = spec.hard_contradictions();
+    let hard_users: Vec<FuncId> = (0..hard_count)
+        .map(|i| b.func(&format!("hard_user_{i}"), &["c", "cv"]))
+        .collect();
+    let contra_writers: Vec<FuncId> = (hard_count..spec.contradiction_patterns)
         .map(|i| b.func(&format!("contra_writer_{i}"), &["y"]))
         .collect();
     let handshakers: Vec<FuncId> = (0..spec.handshake_patterns)
@@ -385,7 +389,30 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             .benign
             .push((Label::new(0), use_label.expect("branch body ran")));
     }
-    for (i, &w) in contra_writers.iter().enumerate() {
+    // Hard-family users: a fan-out of uses, each one member of the
+    // free's query family, followed by a quorum of notify sites. The
+    // free in `main` only runs after two waits on `cv`, and every
+    // notify postdates every use, so each member is infeasible — but
+    // the refutation lives in the order theory (wait-requires-notify
+    // disjunctions), out of the prefilter's reach: the solver must
+    // fail every notify disjunct of every wait before concluding
+    // Unsat. Work per member scales with the notify quorum, making
+    // these the §5.2 hard-query class that drives cube escalation.
+    let fanout = spec.family_readers();
+    for (i, &h) in hard_users.iter().enumerate() {
+        let mut f = b.body(h);
+        let c = f.var("c");
+        let cv = f.var("cv");
+        for r in 0..fanout {
+            let x = f.load(&format!("hfx_{i}_{r}"), c);
+            f.deref(x);
+        }
+        for _ in 0..fanout.max(2) {
+            f.notify(cv);
+        }
+        truth.infeasible_patterns += 1;
+    }
+    for (i, &w) in (hard_count..).zip(contra_writers.iter()) {
         let mut f = b.body(w);
         let y = f.var("y");
         let theta = f.cond(&format!("theta_{i}"));
@@ -644,6 +671,17 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         let cell = f.alloc(&format!("ccell_{i}"), &format!("ccell_o_{i}"));
         let init = f.alloc(&format!("cinit_{i}"), &format!("cval_{i}"));
         f.store(cell, init);
+        if i < hard_count {
+            // Hard family: the user's fan-out uses all precede its
+            // notifies, and the free waits for the notify quorum —
+            // infeasible only through the wait/notify order theory.
+            let cv = f.alloc(&format!("hfcv_{i}"), &format!("hfcv_o_{i}"));
+            f.fork(&format!("ct_{i}"), &format!("hard_user_{i}"), &[cell, cv]);
+            f.wait(cv);
+            f.wait(cv);
+            f.free(init);
+            continue;
+        }
         f.fork(&format!("ct_{i}"), &format!("contra_writer_{i}"), &[cell]);
         let theta = f.cond(&format!("theta_{i}"));
         if i % 2 == 0 {
@@ -651,7 +689,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
             // ¬θ, so each is one more warning for the unguarded
             // baselines and zero for Canary (the report-volume gap of
             // Tbl. 1 grows with subject size through this knob).
-            let readers = 3 + spec.target_stmts / 3000;
+            let readers = spec.family_readers();
             for r in 0..readers {
                 f.if_then(CondExpr::atom(theta), |f| {
                     let x = f.load(&format!("cx_{i}_{r}"), cell);

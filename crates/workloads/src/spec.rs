@@ -73,6 +73,18 @@ pub struct WorkloadSpec {
     /// pattern is unreachable under every supported model (and refuted
     /// by the detector's retained load→store program order).
     pub lb_patterns: usize,
+    /// Readers per contradiction pattern — the fan-out of each SMT
+    /// query family (all readers of one pattern share a source label,
+    /// hence a family). 0 keeps the legacy size-derived fan-out
+    /// (`3 + target_stmts / 3000`).
+    pub family_fanout: usize,
+    /// Fraction (0.0–1.0) of contradiction patterns hardened with
+    /// nested lock regions and handshake order structure, driving the
+    /// CDCL(T) theory-lemma loop instead of folding at construction.
+    /// Hard patterns are emitted first, so hard families cluster
+    /// contiguously in family order — the adversarial layout for
+    /// contiguous static batching. 0.0 disables hardening.
+    pub hard_family_ratio: f64,
     /// Emit the size filler (helper library, `pick` conflation, worker
     /// threads, alias webs, statement filler). Disable for *lean*
     /// workloads small enough for the oracle's exhaustive interleaving
@@ -102,6 +114,8 @@ impl WorkloadSpec {
             sb_patterns: 0,
             mp_patterns: 0,
             lb_patterns: 0,
+            family_fanout: 0,
+            hard_family_ratio: 0.0,
             filler: true,
         }
     }
@@ -131,6 +145,8 @@ impl WorkloadSpec {
             sb_patterns: 0,
             mp_patterns: 0,
             lb_patterns: 0,
+            family_fanout: 0,
+            hard_family_ratio: 0.0,
             filler: false,
         }
     }
@@ -158,6 +174,8 @@ impl WorkloadSpec {
             sb_patterns: 0,
             mp_patterns: 0,
             lb_patterns: 0,
+            family_fanout: 0,
+            hard_family_ratio: 0.0,
             filler: false,
         }
     }
@@ -189,8 +207,36 @@ impl WorkloadSpec {
             sb_patterns: 1,
             mp_patterns: 1,
             lb_patterns: 1,
+            family_fanout: 0,
+            hard_family_ratio: 0.0,
             filler: false,
         }
+    }
+
+    /// Readers seeded per contradiction pattern — the fan-out of each
+    /// SMT query family. `family_fanout` overrides the legacy
+    /// size-derived default.
+    #[must_use]
+    pub fn family_readers(&self) -> usize {
+        if self.family_fanout > 0 {
+            self.family_fanout
+        } else {
+            3 + self.target_stmts / 3000
+        }
+    }
+
+    /// Number of leading contradiction patterns hardened by
+    /// `hard_family_ratio` (rounded, clamped to the pattern count).
+    #[must_use]
+    pub fn hard_contradictions(&self) -> usize {
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let n = (self.contradiction_patterns as f64 * self.hard_family_ratio.clamp(0.0, 1.0))
+            .round() as usize;
+        n.min(self.contradiction_patterns)
     }
 }
 
@@ -283,9 +329,11 @@ pub fn table1_suite(scale: SuiteScale) -> Vec<WorkloadSpec> {
                 leak: 0,
                 double_lock: 0,
                 conflict_lock: 0,
-            sb_patterns: 0,
-            mp_patterns: 0,
-            lb_patterns: 0,
+                sb_patterns: 0,
+                mp_patterns: 0,
+                lb_patterns: 0,
+                family_fanout: 0,
+                hard_family_ratio: 0.0,
                 filler: true,
             }
         })

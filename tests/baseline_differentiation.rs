@@ -37,6 +37,8 @@ fn workload(bugs: usize, benign: usize, contra: usize, hs: usize, order_fp: usiz
         sb_patterns: 0,
         mp_patterns: 0,
         lb_patterns: 0,
+        family_fanout: 0,
+        hard_family_ratio: 0.0,
         filler: true,
     })
 }

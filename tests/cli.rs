@@ -391,6 +391,100 @@ fn baseline_flag_gates_exit_on_new_findings_only() {
 }
 
 #[test]
+fn cube_split_flag_is_wired_end_to_end() {
+    let path = write_temp("racy_cube.cir", RACY);
+    // Valid value: accepted, echoed in the JSON solver block and the
+    // SARIF run manifest, findings unchanged.
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--cube-split", "2", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "findings still gate the exit");
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let solver = &doc["metrics"]["solver"];
+    assert_eq!(solver["cube_split"], 2, "{solver}");
+    assert!(solver["cube_escalated"].as_u64().is_some(), "{solver}");
+    assert_eq!(doc["reports"].as_array().unwrap().len(), 1);
+    let sarif: serde_json::Value = serde_json::from_slice(
+        &canary_bin()
+            .arg(&path)
+            .args(["--cube-split", "2", "--format", "sarif"])
+            .output()
+            .unwrap()
+            .stdout,
+    )
+    .unwrap();
+    let config = &sarif["runs"][0]["invocations"][0]["properties"]["config"];
+    assert_eq!(config["cube_split"], "2", "{config}");
+    // Invalid values are usage errors.
+    for bad in ["-1", "two", ""] {
+        let out = canary_bin()
+            .arg(&path)
+            .args(["--cube-split", bad])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--cube-split {bad:?} must exit 2");
+    }
+}
+
+#[test]
+fn dispatch_and_shards_flags_accepted_and_equivalent() {
+    let path = write_temp("racy_dispatch.cir", RACY);
+    let run = |extra: &[&str]| {
+        let out = canary_bin().arg(&path).args(extra).arg("--json").output().unwrap();
+        assert_eq!(out.status.code(), Some(1));
+        let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        doc["reports"].clone()
+    };
+    let worksteal = run(&["--dispatch", "worksteal", "--shards", "4"]);
+    let staticd = run(&["--dispatch", "static"]);
+    assert_eq!(worksteal, staticd, "dispatchers agree on findings");
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--dispatch", "bogus"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown dispatch"), "{stderr}");
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--shards", "many"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn memory_budget_flag_spills_without_changing_findings() {
+    let path = write_temp("racy_budget.cir", RACY);
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--memory-budget-mb", "1", "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(doc["reports"].as_array().unwrap().len(), 1);
+    let spill = &doc["metrics"]["spill"];
+    assert_eq!(spill["budget_bytes"], 1u64 << 20, "{spill}");
+    assert_eq!(spill["entries"], 2, "one spilled summary per function: {spill}");
+    assert!(spill["bytes_written"].as_u64().unwrap() > 0, "{spill}");
+    // Without the flag the spill block is inert.
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(doc["metrics"]["spill"]["entries"], 0);
+    // Invalid budget is a usage error.
+    let out = canary_bin()
+        .arg(&path)
+        .args(["--memory-budget-mb", "lots"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn unroll_flag_changes_bounding() {
     let src = "fn main() { p = alloc o; while (c) { use p; } free p; }";
     let path = write_temp("loop.cir", src);

@@ -55,6 +55,8 @@ fn lock_free_spec(seed: u64, stmts: usize, threads: usize, bugs: usize) -> Workl
         sb_patterns: 0,
         mp_patterns: 0,
         lb_patterns: 0,
+        family_fanout: 0,
+        hard_family_ratio: 0.0,
         filler: true,
     }
 }

@@ -39,6 +39,8 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 sb_patterns: 0,
                 mp_patterns: 0,
                 lb_patterns: 0,
+                family_fanout: 0,
+                hard_family_ratio: 0.0,
                 filler: true,
             },
         )

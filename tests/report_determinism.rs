@@ -101,6 +101,8 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 sb_patterns: sb,
                 mp_patterns: mp,
                 lb_patterns: 0,
+                family_fanout: 0,
+                hard_family_ratio: 0.0,
                 filler: true,
             },
         )
