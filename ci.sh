@@ -214,3 +214,69 @@ CANARY_BENCH_REPS=2 cargo run --release --offline -p canary-bench --bin bench5 -
 ./target/release/canary bench diff BENCH_5.json /tmp/canary_bench5.json --tolerance 75 \
     > /tmp/canary_bench5_diff.out
 grep -q '0 regressed' /tmp/canary_bench5_diff.out
+# Analysis-audit gates (PR-10): the suppression-accounting suite
+# (reconciliation invariant + knob-invariant JSONL export + per-layer
+# certificates), serially and with the parallel front-end.
+cargo test -q --offline --test audit_reconciliation
+CANARY_TEST_THREADS=2 cargo test -q --offline --test audit_reconciliation
+# The --audit-out export on the three-certificate example must carry
+# one record per line that validates against the vendored mini-schema
+# (same three-tier fallback as the SARIF gate), and --stats must print
+# a reconciled audit line.
+./target/release/canary examples/audited.cir --stats \
+    --audit-out /tmp/canary_audited.jsonl > /tmp/canary_audited.out
+grep -q '^audit: ' /tmp/canary_audited.out
+! grep -q 'RECONCILIATION FAILED' /tmp/canary_audited.out
+if python3 -c 'import jsonschema' 2>/dev/null; then
+    python3 -c '
+import json, jsonschema
+schema = json.load(open("docs/audit-minimal.schema.json"))
+lines = [l for l in open("/tmp/canary_audited.jsonl") if l.strip()]
+assert lines, "empty audit export"
+tags = set()
+for i, line in enumerate(lines):
+    rec = json.loads(line)
+    jsonschema.validate(rec, schema)
+    assert rec["seq"] == i, (rec["seq"], i)
+    tags.add(rec["disposition"])
+assert {"pruned_mhp", "pruned_lock_sharpen", "unsat_core"} <= tags, tags'
+elif command -v python3 >/dev/null 2>&1; then
+    python3 -c '
+import json
+lines = [l for l in open("/tmp/canary_audited.jsonl") if l.strip()]
+assert lines, "empty audit export"
+tags = set()
+for i, line in enumerate(lines):
+    rec = json.loads(line)
+    assert rec["seq"] == i, (rec["seq"], i)
+    assert rec["layer"] in ("interference", "detect"), rec
+    assert isinstance(rec["certificate"], dict), rec
+    tags.add(rec["disposition"])
+assert {"pruned_mhp", "pruned_lock_sharpen", "unsat_core"} <= tags, tags'
+else
+    grep -q '"disposition":"pruned_mhp"' /tmp/canary_audited.jsonl
+    grep -q '"disposition":"pruned_lock_sharpen"' /tmp/canary_audited.jsonl
+    grep -q '"disposition":"unsat_core"' /tmp/canary_audited.jsonl
+fi
+# why-not smoke: the reported fig2_variant pair answers "reported",
+# each suppressed audited.cir pair prints its layer's certificate, and
+# a never-enumerated pair exits 1.
+./target/release/canary why-not examples/fig2_variant.cir l7 l4 \
+    | grep -q 'reported: confirmed finding'
+./target/release/canary why-not examples/audited.cir l24 l11 \
+    | grep -q 'pruned by MHP analysis'
+./target/release/canary why-not examples/audited.cir l15 l22 \
+    | grep -q 'pruned by lock-sharpened MHP'
+./target/release/canary why-not examples/audited.cir l3 l19 \
+    | grep -q 'refuted by the solver'
+rc=0
+./target/release/canary why-not examples/audited.cir l1 l2 \
+    > /tmp/canary_whynot_none.out || rc=$?
+[ "$rc" -eq 1 ]
+grep -q 'never enumerated' /tmp/canary_whynot_none.out
+# why smoke: the fig2_variant fingerprint round-trips from the SARIF
+# export back into an explanation.
+fp=$(grep -o '"canary/v1": "[0-9a-f]*"' /tmp/canary_fig2.sarif \
+    | head -1 | cut -d'"' -f4)
+./target/release/canary why examples/fig2_variant.cir "$fp" \
+    | grep -q 'reported: confirmed finding'

@@ -46,9 +46,10 @@ use std::time::{Duration, Instant};
 
 use canary_dataflow::FuncProfile;
 use canary_detect::{
-    BugKind, BugReport, DetectContext, DetectOptions, DetectStats, QueryProfile, RefutedCandidate,
+    AuditLog, BugKind, BugReport, DetectContext, DetectOptions, DetectStats, Disposition,
+    QueryProfile, RefutedCandidate,
 };
-use canary_interference::{InterferenceOptions, InterferenceResult};
+use canary_interference::{InterferenceOptions, InterferenceResult, PruneReason};
 use canary_ir::{
     clone_contexts, CallGraph, CloneOptions, MhpAnalysis, ParseError, ParseOptions, Program,
     ThreadStructure, ValidationError,
@@ -211,6 +212,15 @@ pub struct Metrics {
     /// is set (all-zero otherwise). Deterministic: driven by encoded
     /// byte sizes and the budget, never by OS memory accounting.
     pub spill: canary_store::SpillGauges,
+    /// The run-wide audit log: one terminal disposition, with a
+    /// machine-checkable certificate, for every candidate source/sink
+    /// pair any pipeline layer considered. The JSONL export
+    /// (`--audit-out`) and `canary why-not` read from here; its
+    /// records are byte-identical across every scheduling and strategy
+    /// knob. The per-worker `dispatch_loads` it also carries are
+    /// timing-dependent and surface only as the volatile
+    /// `canary_dispatch_*` registry family.
+    pub audit: AuditLog,
 }
 
 impl Metrics {
@@ -305,6 +315,47 @@ impl Metrics {
         c(&mut reg, "canary_solver_clauses_retained", "Learned clauses alive on family solvers at family end", d.clauses_retained as f64);
         c(&mut reg, "canary_solver_cube_escalated", "Family members escalated to cube-and-conquer after blowing the conflict budget", d.cube_escalated as f64);
         c(&mut reg, "canary_solver_shard_epochs", "Cache merge barriers (shard epochs) executed by the query dispatcher", d.epochs as f64);
+
+        // Audit-layer disposition totals: deterministic (derived from
+        // term-determined certificates), so they live in the canonical
+        // family set and the `candidates == reported + deduped + Σ
+        // pruned` reconciliation can be checked from an export alone.
+        let a = self.audit.reconcile().unwrap_or_default();
+        c(&mut reg, "canary_audit_candidates", "Detect-layer candidates given a terminal audit disposition", a.candidates as f64);
+        c(&mut reg, "canary_audit_reported", "Audit dispositions: confirmed and emitted", a.reported as f64);
+        c(&mut reg, "canary_audit_deduped", "Audit dispositions: confirmed but collapsed into an equivalent finding", a.deduped as f64);
+        c(&mut reg, "canary_audit_prefiltered", "Audit dispositions: killed by the construction/semi-decision prefilter", a.prefiltered as f64);
+        c(&mut reg, "canary_audit_unsat", "Audit dispositions: refuted by solving or UNSAT-core subsumption", a.unsat as f64);
+        c(&mut reg, "canary_audit_memoized", "Audit dispositions: refuted by the verdict memo", a.memoized as f64);
+        c(&mut reg, "canary_audit_scope_filtered", "Audit dispositions: dropped by --inter-thread-only", a.scope_filtered as f64);
+        c(&mut reg, "canary_audit_path_budget", "Path-budget truncation markers recorded by the audit layer", a.path_budget as f64);
+        c(&mut reg, "canary_audit_pruned_mhp", "Interference pairs pruned by plain MHP", a.pruned_mhp as f64);
+        c(&mut reg, "canary_audit_pruned_lock", "Interference pairs pruned by lock-sharpened MHP", a.pruned_lock as f64);
+        c(&mut reg, "canary_audit_pruned_order", "Interference pairs refuted by program order", a.pruned_order as f64);
+
+        // Per-worker dispatcher loads: timing-dependent (work stealing
+        // follows the OS scheduler), so the family is *volatile* — the
+        // determinism normalizers drop `canary_dispatch_*` wholesale.
+        // Emitted only when a work-stealing dispatch ran (the fresh
+        // strategy never populates it), mirroring the spill gauges.
+        if !self.audit.dispatch_loads.is_empty() {
+            for (i, l) in self.audit.dispatch_loads.iter().enumerate() {
+                let worker = i.to_string();
+                let labels = [("worker", worker.as_str())];
+                reg.set_gauge(
+                    "canary_dispatch_worker_families",
+                    "Query families a dispatcher worker solved (volatile)",
+                    &labels,
+                    l.families as f64,
+                );
+                reg.set_gauge(
+                    "canary_dispatch_worker_stolen",
+                    "Query families a dispatcher worker stole from siblings (volatile)",
+                    &labels,
+                    l.stolen as f64,
+                );
+            }
+        }
 
         // Spill gauges are emitted only when a budget armed the store:
         // absent families keep budget-less runs byte-comparable with
@@ -479,9 +530,41 @@ impl Canary {
     }
 
     fn analyze_uncloned(&self, prog: &Program, tracer: &Tracer) -> AnalysisOutcome {
-        let (mut pool, mut df, _ir_result, cg, ts, metrics0) = self.build_vfg_traced(prog, tracer);
+        let (mut pool, mut df, ir_result, cg, ts, metrics0) = self.build_vfg_traced(prog, tracer);
         let mhp = MhpAnalysis::new(prog, &cg, &ts);
         let mut metrics = metrics0;
+
+        // Seed the run-wide audit log with the interference layer's
+        // pruned store/load pairs — candidates suppressed before any
+        // VFG edge (and hence any detect candidate) could exist. The
+        // fixpoint commits them in (store, load) order, so the audit
+        // sequence is deterministic.
+        let mut audit = AuditLog::new();
+        for p in &ir_result.pruned_pairs {
+            let d = match p.reason {
+                PruneReason::Mhp {
+                    parallel,
+                    ordered_before,
+                } => Disposition::PrunedMhp {
+                    parallel,
+                    ordered_before,
+                },
+                PruneReason::LockSharpen {
+                    class,
+                    killing_store,
+                } => Disposition::PrunedLockSharpen {
+                    class,
+                    killing_store,
+                },
+                PruneReason::StoreAfterLoad => Disposition::PrunedStoreOrder,
+            };
+            audit.record_interference_prune(
+                p.store,
+                p.load,
+                Some(prog.obj_name(p.object).to_string()),
+                d,
+            );
+        }
 
         // Bounded-memory mode: once the VFG is built the per-function
         // summaries are dead weight (the checkers only consult the VFG),
@@ -554,6 +637,7 @@ impl Canary {
                     &mut stats,
                     tracer,
                     &mut qcache,
+                    &mut audit,
                 );
                 reports.extend(rs);
                 refuted.extend(refs);
@@ -590,6 +674,18 @@ impl Canary {
         let confirmed_raw = reports.len();
         let reports = canary_detect::dedup_reports(prog, reports);
         metrics.reports_deduped = confirmed_raw - reports.len();
+        // Flip audit records whose report lost the fingerprint dedup to
+        // `Deduped`, then check the reconciliation invariant: every
+        // candidate has exactly one terminal disposition. A leak here
+        // is a pipeline bug, not an input problem.
+        let kept: std::collections::HashSet<(BugKind, canary_ir::Label, canary_ir::Label)> =
+            reports.iter().map(|r| (r.kind, r.source, r.sink)).collect();
+        audit.apply_report_dedup(&kept);
+        debug_assert!(
+            audit.reconcile().is_ok(),
+            "{}",
+            audit.reconcile().unwrap_err()
+        );
         canary_trace::log(LogLevel::Summary, || {
             format!(
                 "detect: {} quer(ies), {} report(s) in {:?}",
@@ -609,6 +705,7 @@ impl Canary {
         metrics.term_count = pool.len();
         metrics.term_bytes = pool.approx_bytes();
         metrics.query_profiles = query_profiles;
+        metrics.audit = audit;
         let witness_replays = if self.config.verify_witnesses {
             // Replay runs under the same memory model the detector
             // analyzed: a TSO/PSO witness may invert program order and

@@ -3,7 +3,7 @@
 //! over the interference-aware VFG followed by SMT validation of
 //! `Φ_all = Φ_guards ∧ Φ_po` (Eq. 5).
 
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Duration;
 
 use canary_dataflow::{DataflowResult, LockModel};
@@ -15,10 +15,11 @@ use canary_smt::{
 use canary_trace::{Tracer, LANE_DETECT, LANE_SMT};
 use canary_vfg::{EdgeKind, NodeId, NodeKind};
 
+use crate::audit::{AuditLog, Disposition};
 use crate::constraints;
-use crate::path::{enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
+use crate::path::{enumerate_paths_budgeted, PathLimits, SinkReach, VfPath};
 use crate::provenance::{
-    EscapeFact, MhpFact, ModelSlice, ProvEdge, ProvNode, Provenance,
+    EscapeFact, Fingerprint, MhpFact, ModelSlice, ProvEdge, ProvNode, Provenance,
 };
 use crate::report::{BugKind, BugReport};
 use crate::sync::SyncModel;
@@ -236,6 +237,9 @@ struct Candidate {
     report: BugReport,
     path_len: u64,
     family: u64,
+    /// The pending [`AuditLog`] record opened when the candidate was
+    /// materialized; [`validate`] writes its terminal disposition.
+    audit_id: usize,
 }
 
 /// A candidate the solver refuted, with a deletion-minimal core of the
@@ -281,6 +285,7 @@ pub fn check_kind_explained(
         stats,
         &Tracer::disabled(),
         &mut QueryCache::new(),
+        &mut AuditLog::new(),
     );
     (reports, refuted)
 }
@@ -293,6 +298,12 @@ pub fn check_kind_explained(
 /// to every checker of one analysis run so UNSAT cores and memoized
 /// verdicts learned by one checker refute later checkers' queries.
 /// Checkers run sequentially, so the reuse is deterministic.
+///
+/// `audit` is the run-wide [`AuditLog`]: every candidate this checker
+/// materializes (or prefilters away) gets exactly one terminal
+/// disposition recorded there. Pass the same instance to every checker
+/// so memo/subsumption dispositions see earlier checkers' refutations,
+/// mirroring the shared `cache`.
 #[allow(clippy::too_many_arguments)]
 pub fn check_kind_traced(
     ctx: &DetectContext<'_>,
@@ -302,14 +313,15 @@ pub fn check_kind_traced(
     stats: &mut DetectStats,
     tracer: &Tracer,
     cache: &mut QueryCache,
+    audit: &mut AuditLog,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
     let paths_before = stats.candidate_paths;
     let mut span = tracer.span(LANE_DETECT, "detect", kind as u64, || {
         format!("detect.kind:{kind}")
     });
     let candidates = match kind {
-        BugKind::UseAfterFree => uaf_candidates(ctx, pool, opts, stats, false),
-        BugKind::DoubleFree => uaf_candidates(ctx, pool, opts, stats, true),
+        BugKind::UseAfterFree => uaf_candidates(ctx, pool, opts, stats, false, audit),
+        BugKind::DoubleFree => uaf_candidates(ctx, pool, opts, stats, true, audit),
         BugKind::NullDeref => flow_candidates(
             ctx,
             pool,
@@ -318,6 +330,7 @@ pub fn check_kind_traced(
             kind,
             &null_sources(ctx.prog),
             &deref_sinks(ctx),
+            audit,
         ),
         BugKind::DataLeak => flow_candidates(
             ctx,
@@ -327,9 +340,10 @@ pub fn check_kind_traced(
             kind,
             &taint_sources(ctx.prog),
             &sink_nodes(ctx),
+            audit,
         ),
-        BugKind::DoubleLock => double_lock_candidates(ctx, pool, opts, stats),
-        BugKind::ConflictLock => conflict_lock_candidates(ctx, pool, opts, stats),
+        BugKind::DoubleLock => double_lock_candidates(ctx, pool, opts, stats, audit),
+        BugKind::ConflictLock => conflict_lock_candidates(ctx, pool, opts, stats, audit),
     };
     span.record(
         "candidate_paths",
@@ -337,7 +351,7 @@ pub fn check_kind_traced(
     );
     span.record("queries", candidates.len() as u64);
     let (reports, refuted, profiles) =
-        validate(ctx, pool, candidates, opts, stats, kind, tracer, cache);
+        validate(ctx, pool, candidates, opts, stats, kind, tracer, cache, audit);
     span.record("confirmed", reports.len() as u64);
     span.finish();
     canary_trace::log(canary_trace::LogLevel::Debug, || {
@@ -358,6 +372,7 @@ pub fn check_all_kinds(
     stats: &mut DetectStats,
 ) -> Vec<BugReport> {
     let mut cache = QueryCache::new();
+    let mut audit = AuditLog::new();
     let mut out = Vec::new();
     for kind in [
         BugKind::UseAfterFree,
@@ -375,6 +390,7 @@ pub fn check_all_kinds(
             stats,
             &Tracer::disabled(),
             &mut cache,
+            &mut audit,
         );
         out.extend(reports);
     }
@@ -412,6 +428,7 @@ fn validate(
     kind: BugKind,
     tracer: &Tracer,
     cache: &mut QueryCache,
+    audit: &mut AuditLog,
 ) -> (Vec<BugReport>, Vec<RefutedCandidate>, Vec<QueryProfile>) {
     stats.queries += candidates.len();
     let queries: Vec<TermId> = candidates.iter().map(|c| c.query).collect();
@@ -422,6 +439,7 @@ fn validate(
     stats.families += grouped.families;
     stats.clauses_retained += grouped.clauses_retained;
     stats.epochs += grouped.epochs;
+    audit.merge_dispatch_loads(&grouped.worker_loads);
     let mut profiles = Vec::with_capacity(outcomes.len());
     for (qi, (cand, o)) in candidates.iter().zip(&outcomes).enumerate() {
         let (bool_atoms, order_atoms) = count_atoms(pool, cand.query);
@@ -532,9 +550,11 @@ fn validate(
         profiles.push(p);
     }
     canary_trace::log(canary_trace::LogLevel::Summary, || {
-        // Per-worker loads and steal counts are timing-dependent, so they
-        // live only in this heartbeat line — never in DetectStats or the
-        // metrics registry, which must stay deterministic.
+        // Per-worker loads and steal counts are timing-dependent, so
+        // they stay out of DetectStats and the deterministic registry
+        // families; besides this heartbeat line they surface only as
+        // the *volatile* `canary_dispatch_*` family, which the
+        // determinism normalizers drop wholesale.
         let loads = grouped
             .worker_loads
             .iter()
@@ -560,13 +580,23 @@ fn validate(
             grouped.epochs,
         )
     });
-    let results: Vec<SmtResult> = outcomes.iter().map(|o| o.result).collect();
-    let mut seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
+    // First-confirmed fingerprint per (kind, source, sink): later
+    // sat candidates for the same key collapse onto it, and the audit
+    // names it as their dedup winner. Candidate order is the
+    // deterministic enumeration order, so the winner is too.
+    let mut seen: HashMap<(BugKind, Label, Label), Fingerprint> = HashMap::new();
     let mut refuted_seen: HashSet<(BugKind, Label, Label)> = HashSet::new();
     let mut out = Vec::new();
     let mut refuted = Vec::new();
-    for (mut cand, res) in candidates.into_iter().zip(results) {
-        if res != SmtResult::Sat {
+    for (mut cand, o) in candidates.into_iter().zip(outcomes) {
+        if o.result != SmtResult::Sat {
+            audit.dispose_unsat(cand.audit_id, pool, cand.query, o.stats.prefiltered);
+            if let Some(core) = &o.core {
+                audit.attach_solver_core(
+                    cand.audit_id,
+                    core.iter().map(|&c| pool.render(c)).collect(),
+                );
+            }
             if opts.explain_refutations
                 && refuted_seen.insert((cand.report.kind, cand.report.source, cand.report.sink))
             {
@@ -592,9 +622,14 @@ fn validate(
             }
             continue;
         }
-        if !seen.insert((cand.report.kind, cand.report.source, cand.report.sink)) {
+        let key = (cand.report.kind, cand.report.source, cand.report.sink);
+        let fp = cand.report.fingerprint(ctx.prog);
+        if let Some(&winner) = seen.get(&key) {
+            audit.dispose(cand.audit_id, Disposition::Deduped { winner });
             continue;
         }
+        seen.insert(key, fp);
+        audit.dispose(cand.audit_id, Disposition::Reported { fingerprint: fp });
         // Extract one concrete interleaving for the report (§2): a
         // topological order of the model's order atoms, completed with
         // the fork/join sites the oracle needs to replay it, plus the
@@ -683,7 +718,13 @@ fn uaf_candidates(
     opts: &DetectOptions,
     stats: &mut DetectStats,
     double_free: bool,
+    audit: &mut AuditLog,
 ) -> Vec<Candidate> {
+    let kind = if double_free {
+        BugKind::DoubleFree
+    } else {
+        BugKind::UseAfterFree
+    };
     let mut sinks: Vec<(NodeId, Label)> = if double_free {
         ctx.prog
             .labels()
@@ -717,7 +758,19 @@ fn uaf_candidates(
             else {
                 continue;
             };
-            for p in enumerate_paths_pruned(&ctx.df.vfg, on, &sink_set, &reach, opts.limits) {
+            let (paths, trunc) =
+                enumerate_paths_budgeted(&ctx.df.vfg, on, &sink_set, &reach, opts.limits);
+            if let Some(limit) = trunc.limit() {
+                // Candidates past the cut never materialize; the
+                // budget marker is their collective disposition.
+                audit.record_path_budget(
+                    kind,
+                    free_label,
+                    Some(ctx.prog.obj_name(obj).to_string()),
+                    limit,
+                );
+            }
+            for p in paths {
                 stats.candidate_paths += 1;
                 let sink_node = *p.nodes.last().expect("paths are nonempty");
                 let Some(&(_, sink_label)) =
@@ -732,19 +785,14 @@ fn uaf_candidates(
                     // Report each unordered pair once.
                     continue;
                 }
-                let kind = if double_free {
-                    BugKind::DoubleFree
-                } else {
-                    BugKind::UseAfterFree
-                };
                 let mut extra = vec![free_guard];
                 if !double_free {
                     // The use must be *after* the free.
                     extra.push(pool.order_lt(free_label.0, sink_label.0));
                 }
-                if let Some(c) =
-                    finish_candidate(ctx, pool, opts, kind, free_label, sink_label, &p, &extra)
-                {
+                if let Some(c) = finish_candidate(
+                    ctx, pool, opts, kind, free_label, sink_label, &p, &extra, audit,
+                ) {
                     out.push(c);
                 }
             }
@@ -764,6 +812,7 @@ fn flow_candidates(
     kind: BugKind,
     sources: &[(VarId, Label)],
     sinks: &[(NodeId, Label)],
+    audit: &mut AuditLog,
 ) -> Vec<Candidate> {
     let sink_set: HashSet<NodeId> = sinks.iter().map(|&(n, _)| n).collect();
     let reach = SinkReach::compute(&ctx.df.vfg, &sink_set);
@@ -780,16 +829,21 @@ fn flow_candidates(
             continue;
         };
         let src_guard = ctx.df.path_conds.guard(src_label);
-        for p in enumerate_paths_pruned(&ctx.df.vfg, sn, &sink_set, &reach, opts.limits) {
+        let (paths, trunc) =
+            enumerate_paths_budgeted(&ctx.df.vfg, sn, &sink_set, &reach, opts.limits);
+        if let Some(limit) = trunc.limit() {
+            audit.record_path_budget(kind, src_label, None, limit);
+        }
+        for p in paths {
             stats.candidate_paths += 1;
             let sink_node = *p.nodes.last().expect("paths are nonempty");
             let Some(&(_, sink_label)) = sinks.iter().find(|&&(n, _)| n == sink_node) else {
                 continue;
             };
             let extra = vec![src_guard];
-            if let Some(c) =
-                finish_candidate(ctx, pool, opts, kind, src_label, sink_label, &p, &extra)
-            {
+            if let Some(c) = finish_candidate(
+                ctx, pool, opts, kind, src_label, sink_label, &p, &extra, audit,
+            ) {
                 out.push(c);
             }
         }
@@ -831,6 +885,7 @@ fn double_lock_candidates(
     pool: &mut TermPool,
     opts: &DetectOptions,
     stats: &mut DetectStats,
+    audit: &mut AuditLog,
 ) -> Vec<Candidate> {
     if opts.inter_thread_only {
         // Double-lock is an intra-thread discipline bug by definition.
@@ -872,6 +927,15 @@ fn double_lock_candidates(
             let labels = [a.label, b.label];
             let query = constraints::assemble_with(pool, og, &[], &labels, &extra, &keep);
             if query == pool.ff() && !opts.explain_refutations {
+                // Same terminal record the validate-side disposal
+                // writes when diagnostics keep the candidate alive, so
+                // the audit export is explain-flag-invariant.
+                audit.record_candidate(
+                    BugKind::DoubleLock,
+                    a.label,
+                    b.label,
+                    Disposition::Prefiltered { unit_cycle: false },
+                );
                 continue;
             }
             let object = lock_object(ctx.prog, lm, a.label);
@@ -906,6 +970,7 @@ fn double_lock_candidates(
                 query,
                 path_len: 2,
                 family: u64::from(a.label.0),
+                audit_id: audit.begin_candidate(BugKind::DoubleLock, a.label, b.label),
                 report: BugReport {
                     kind: BugKind::DoubleLock,
                     source: a.label,
@@ -953,6 +1018,7 @@ fn conflict_lock_candidates(
     pool: &mut TermPool,
     opts: &DetectOptions,
     stats: &mut DetectStats,
+    audit: &mut AuditLog,
 ) -> Vec<Candidate> {
     let og = ctx.mhp.order_graph();
     let lm = &ctx.locks;
@@ -1041,13 +1107,19 @@ fn conflict_lock_candidates(
             }
         }
         let query = constraints::assemble_with(pool, og, &[], &labels, &extra, &keep);
-        if query == pool.ff() && !opts.explain_refutations {
-            continue;
-        }
         // The oracle keys a blocked cycle by its extreme blocked
         // acquisition labels; mirror that so replay confirms.
         let source = *inners.iter().min().expect("cycles are nonempty");
         let sink = *inners.iter().max().expect("cycles are nonempty");
+        if query == pool.ff() && !opts.explain_refutations {
+            audit.record_candidate(
+                BugKind::ConflictLock,
+                source,
+                sink,
+                Disposition::Prefiltered { unit_cycle: false },
+            );
+            continue;
+        }
         let n = cyc.len();
         let mut nodes = Vec::with_capacity(2 * n);
         let mut pedges = Vec::with_capacity(2 * n);
@@ -1104,6 +1176,7 @@ fn conflict_lock_candidates(
             query,
             path_len: labels.len() as u64,
             family: u64::from(source.0),
+            audit_id: audit.begin_candidate(BugKind::ConflictLock, source, sink),
             report: BugReport {
                 kind: BugKind::ConflictLock,
                 source,
@@ -1138,6 +1211,7 @@ fn finish_candidate(
     sink: Label,
     p: &VfPath,
     extra: &[TermId],
+    audit: &mut AuditLog,
 ) -> Option<Candidate> {
     let path_labels: Vec<Label> = p
         .nodes
@@ -1149,6 +1223,7 @@ fn finish_candidate(
             .ts
             .may_be_in_distinct_threads(ctx.prog, source, sink);
     if opts.inter_thread_only && !inter_thread {
+        audit.record_candidate(kind, source, sink, Disposition::ScopeFiltered);
         return None;
     }
     let mut all_labels = path_labels.clone();
@@ -1188,6 +1263,15 @@ fn finish_candidate(
     if query == pool.ff() && !opts.explain_refutations {
         // Folded away by the construction-time prefilter (§5.2 opt. 1);
         // kept only when the caller asked for refutation diagnostics.
+        // The audit record is the same one validate-side disposal
+        // writes for a kept-alive ff candidate, keeping the export
+        // explain-flag-invariant.
+        audit.record_candidate(
+            kind,
+            source,
+            sink,
+            Disposition::Prefiltered { unit_cycle: false },
+        );
         return None;
     }
     let path_rendered = p
@@ -1200,6 +1284,7 @@ fn finish_candidate(
         query,
         path_len: p.nodes.len() as u64,
         family: u64::from(source.0),
+        audit_id: audit.begin_candidate(kind, source, sink),
         report: BugReport {
             kind,
             source,

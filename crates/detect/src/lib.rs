@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 pub mod constraints;
 pub mod detector;
 pub mod path;
@@ -29,11 +30,15 @@ pub mod report;
 pub mod schedule;
 pub mod sync;
 
+pub use audit::{AuditLayer, AuditLog, AuditRecord, AuditSummary, Disposition};
 pub use detector::{
     check_all_kinds, check_kind, check_kind_explained, check_kind_traced, DetectContext,
     DetectOptions, DetectStats, MemoryModel, QueryProfile, RefutedCandidate,
 };
-pub use path::{enumerate_paths, enumerate_paths_pruned, PathLimits, SinkReach, VfPath};
+pub use path::{
+    enumerate_paths, enumerate_paths_budgeted, enumerate_paths_pruned, PathLimits, PathTruncation,
+    SinkReach, VfPath,
+};
 pub use provenance::{
     edge_kind_name, EscapeFact, Fingerprint, MhpFact, ModelSlice, ProvEdge, ProvNode, Provenance,
 };

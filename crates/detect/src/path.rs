@@ -104,9 +104,46 @@ pub fn enumerate_paths_pruned(
     reach: &SinkReach,
     limits: PathLimits,
 ) -> Vec<VfPath> {
+    enumerate_paths_budgeted(vfg, source, sinks, reach, limits).0
+}
+
+/// Which enumeration budget cut the search short, if any. A set flag
+/// means viable exploration (an extendable prefix toward a sink) was
+/// actually skipped — not merely that a limit was reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathTruncation {
+    /// The path-count budget fired with exploration remaining.
+    pub max_paths: bool,
+    /// The path-length budget cut off an extendable prefix.
+    pub max_len: bool,
+}
+
+impl PathTruncation {
+    /// The limit name for an audit certificate; `max_paths` wins when
+    /// both fired (it is the cut that abandoned whole subtrees).
+    pub fn limit(self) -> Option<&'static str> {
+        match (self.max_paths, self.max_len) {
+            (true, _) => Some("max_paths"),
+            (false, true) => Some("max_len"),
+            (false, false) => None,
+        }
+    }
+}
+
+/// [`enumerate_paths_pruned`], also reporting whether a budget
+/// truncated the search — the signal behind the audit layer's
+/// `path_budget` disposition.
+pub fn enumerate_paths_budgeted(
+    vfg: &Vfg,
+    source: NodeId,
+    sinks: &HashSet<NodeId>,
+    reach: &SinkReach,
+    limits: PathLimits,
+) -> (Vec<VfPath>, PathTruncation) {
     let mut out = Vec::new();
+    let mut trunc = PathTruncation::default();
     if !reach.reaches(source) {
-        return out;
+        return (out, trunc);
     }
     let mut nodes = vec![source];
     let mut guards: Vec<TermId> = Vec::new();
@@ -115,9 +152,9 @@ pub fn enumerate_paths_pruned(
     on_path.insert(source);
     dfs(
         vfg, source, sinks, reach, &limits, &mut nodes, &mut guards, &mut kinds, &mut on_path,
-        &mut out,
+        &mut out, &mut trunc,
     );
-    out
+    (out, trunc)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -132,8 +169,10 @@ fn dfs(
     kinds: &mut Vec<EdgeKind>,
     on_path: &mut HashSet<NodeId>,
     out: &mut Vec<VfPath>,
+    trunc: &mut PathTruncation,
 ) {
     if out.len() >= limits.max_paths {
+        trunc.max_paths = true;
         return;
     }
     if sinks.contains(&cur) && nodes.len() > 1 {
@@ -146,6 +185,12 @@ fn dfs(
         // A sink can also be an intermediate node; keep exploring.
     }
     if nodes.len() >= limits.max_len {
+        if vfg
+            .out_edges(cur)
+            .any(|e| !on_path.contains(&e.to) && reach.reaches(e.to))
+        {
+            trunc.max_len = true;
+        }
         return;
     }
     for e in vfg.out_edges(cur) {
@@ -157,15 +202,16 @@ fn dfs(
         kinds.push(e.kind);
         on_path.insert(e.to);
         dfs(
-            vfg, e.to, sinks, reach, limits, nodes, guards, kinds, on_path, out,
+            vfg, e.to, sinks, reach, limits, nodes, guards, kinds, on_path, out, trunc,
         );
         on_path.remove(&e.to);
         kinds.pop();
         guards.pop();
         nodes.pop();
-        if out.len() >= limits.max_paths {
-            return;
-        }
+        // No early exit on a spent path budget: remaining viable
+        // siblings still enter `dfs`, whose entry check is what marks
+        // the truncation (it only fires for exploration genuinely
+        // skipped, keeping the `path_budget` audit signal exact).
     }
 }
 

@@ -100,6 +100,52 @@ pub struct InterferenceResult {
     /// plus per-load candidate scans) — the unit the per-phase metrics
     /// report.
     pub tasks: usize,
+    /// One record per store/load pair the analysis discharged without
+    /// ever adding an edge, with the facts consulted — the audit
+    /// layer's interference certificates. Deduped across rounds and
+    /// objects (first reason wins), pairs that later gained an edge
+    /// removed, sorted by `(store, load)` — deterministic for any
+    /// worker count. The `mhp_pruned` / `mhp_lock_pruned` counters
+    /// keep their per-object-per-round multiplicity semantics.
+    pub pruned_pairs: Vec<PrunedPair>,
+}
+
+/// A store/load pair discharged by Alg. 2 before any VFG edge (and so
+/// before any candidate path) could exist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrunedPair {
+    /// The store whose value could have flowed.
+    pub store: Label,
+    /// The load that could have observed it.
+    pub load: Label,
+    /// The escaped object the pair would have flowed through.
+    pub object: ObjId,
+    /// The facts that discharged the pair.
+    pub reason: PruneReason,
+}
+
+/// Why an interference pair was discharged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PruneReason {
+    /// The MHP facts consulted (§6): the pair neither may run in
+    /// parallel nor is the store ordered before the load.
+    Mhp {
+        /// `may_happen_in_parallel(store, load)`.
+        parallel: bool,
+        /// `happens_before(store, load)`.
+        ordered_before: bool,
+    },
+    /// Lock-based mutual-exclusion sharpening: both accesses sit in
+    /// critical sections of the same mutex class and a definite later
+    /// store overwrites the value before the store's section ends.
+    LockSharpen {
+        /// The shared mutex class.
+        class: usize,
+        /// The overwriting store inside the region.
+        killing_store: Label,
+    },
+    /// Program order alone: the load is ordered before the store.
+    StoreAfterLoad,
 }
 
 /// Runs Algorithm 2, extending `df.vfg` in place.
@@ -140,8 +186,12 @@ pub fn run_traced(
         mhp_pruned: 0,
         mhp_lock_pruned: 0,
         tasks: 0,
+        pruned_pairs: HashMap::new(),
+        edged: HashSet::new(),
     };
     let rounds = a.fixpoint(df, tracer);
+    let mut pruned_pairs: Vec<PrunedPair> = a.pruned_pairs.into_values().collect();
+    pruned_pairs.sort_by_key(|p| (p.store, p.load));
     InterferenceResult {
         escaped: a.escaped,
         rounds,
@@ -150,6 +200,7 @@ pub fn run_traced(
         mhp_pruned: a.mhp_pruned,
         mhp_lock_pruned: a.mhp_lock_pruned,
         tasks: a.tasks,
+        pruned_pairs,
     }
 }
 
@@ -166,6 +217,11 @@ struct InterferenceAnalysis<'p> {
     mhp_pruned: usize,
     mhp_lock_pruned: usize,
     tasks: usize,
+    /// First prune record per `(store, load)` pair, across rounds and
+    /// objects; a pair that later gains an edge is evicted.
+    pruned_pairs: HashMap<(Label, Label), PrunedPair>,
+    /// Pairs that produced a VFG edge (any kind): never audit-pruned.
+    edged: HashSet<(Label, Label)>,
 }
 
 /// An edge decision made by a sharded pair check, in scratch-relative
@@ -414,15 +470,27 @@ impl InterferenceAnalysis<'_> {
         };
 
         let mut changed = false;
-        for (edges, log, pruned, lock_pruned) in outs {
-            self.mhp_pruned += pruned;
-            self.mhp_lock_pruned += lock_pruned;
-            let Some(log) = log else { continue };
+        for check in outs {
+            self.mhp_pruned += check.pruned;
+            self.mhp_lock_pruned += check.lock_pruned;
+            for rec in check.records {
+                let key = (rec.store, rec.load);
+                if !self.edged.contains(&key) {
+                    self.pruned_pairs.entry(key).or_insert(rec);
+                }
+            }
+            let Some(log) = check.log else { continue };
             let remap = log.commit(self.pool);
-            for e in edges {
+            for e in check.edges {
                 let guard = remap.remap(e.guard);
                 let sn = df.vfg.def_node(e.src_var, e.src_label);
                 let ln = df.vfg.def_node(e.dst_var, e.dst_label);
+                // The pair flows (even if the edge already existed):
+                // any prune record for it — e.g. via another object —
+                // is superseded.
+                let key = (e.src_label, e.dst_label);
+                self.edged.insert(key);
+                self.pruned_pairs.remove(&key);
                 if df.vfg.add_edge_licensed(sn, ln, e.kind, guard, e.license) {
                     match e.kind {
                         EdgeKind::Interference => self.interference_edges += 1,
@@ -434,6 +502,17 @@ impl InterferenceAnalysis<'_> {
         }
         changed
     }
+}
+
+/// One sharded load check's proposals: pending edges, the scratch log
+/// to commit, the prune counters (per-object multiplicity) and the
+/// audit prune records.
+struct LoadCheck {
+    edges: Vec<PendingEdge>,
+    log: Option<canary_smt::ScratchLog>,
+    pruned: usize,
+    lock_pruned: usize,
+    records: Vec<PrunedPair>,
 }
 
 /// Checks every candidate store against one load (the body of Alg. 2
@@ -450,16 +529,18 @@ fn check_load(
     stores_on_obj: &HashMap<ObjId, Vec<usize>>,
     locks: Option<&LockModel>,
     load: &LoadSite,
-) -> (
-    Vec<PendingEdge>,
-    Option<canary_smt::ScratchLog>,
-    usize,
-    usize,
-) {
+) -> LoadCheck {
     let mut pruned = 0usize;
     let mut lock_pruned = 0usize;
+    let mut records = Vec::new();
     let Some(ya) = find_def_node(df, load.addr) else {
-        return (Vec::new(), None, 0, 0);
+        return LoadCheck {
+            edges: Vec::new(),
+            log: None,
+            pruned: 0,
+            lock_pruned: 0,
+            records,
+        };
     };
     let mut sp = ScratchPool::new(frozen);
     let tt = sp.tt();
@@ -478,26 +559,58 @@ fn check_load(
                 continue;
             }
             let distinct = ts.may_be_in_distinct_threads(prog, s.label, load.label);
-            // Quick CFG-order refutation: a store strictly after the
-            // load (in program order) can never feed it.
+            // Quick order refutation: a store that happens strictly
+            // after the load can never feed it. For a cross-function
+            // pair the order is fork/join-induced, i.e. an MHP fact
+            // (Defn. 1): the accesses never run in parallel and the
+            // store is not ordered before the load. For a same-function
+            // pair (a body live in several threads) it is plain program
+            // order. (Within `distinct`, these two cases exhaust the
+            // impossible-interference orders: `!parallel` with the
+            // store unordered before the load *is* `load -> store`.)
+            // Under `--no-mhp` the cross-function case keeps its edge —
+            // the SMT order constraints refute the same pairs, which
+            // `prop_pipeline::mhp_toggle_never_changes_reports` checks.
             if mhp.order_graph().happens_before(load.label, s.label) {
-                continue;
+                let same_func = prog.func_of(s.label) == prog.func_of(load.label);
+                if same_func || use_mhp {
+                    if distinct {
+                        let reason = if same_func {
+                            PruneReason::StoreAfterLoad
+                        } else {
+                            pruned += 1;
+                            PruneReason::Mhp {
+                                parallel: false,
+                                ordered_before: false,
+                            }
+                        };
+                        records.push(PrunedPair {
+                            store: s.label,
+                            load: load.label,
+                            object: *o,
+                            reason,
+                        });
+                    }
+                    continue;
+                }
             }
             let xa = find_def_node(df, s.addr).expect("store candidates have address nodes");
             let alpha = nodes[&xa];
             if distinct {
-                if use_mhp
-                    && !mhp.may_happen_in_parallel(s.label, load.label)
-                    && !mhp.order_graph().happens_before(s.label, load.label)
-                {
-                    // Neither parallel nor ordered before the load:
-                    // impossible interference.
-                    pruned += 1;
-                    continue;
-                }
                 if let Some(lm) = locks {
-                    if lock_excluded(df, mhp, lm, tt, s, load, candidates, stores) {
+                    if let Some((class, killing_store)) =
+                        lock_excluded(df, mhp, lm, tt, s, load, candidates, stores)
+                    {
                         lock_pruned += 1;
+                        records.push(PrunedPair {
+                            store: s.label,
+                            load: load.label,
+                            object: *o,
+                            reason: PruneReason::LockSharpen {
+                                class,
+                                killing_store,
+                            },
+                        });
                         continue;
                     }
                 }
@@ -528,7 +641,13 @@ fn check_load(
             }
         }
     }
-    (edges, Some(sp.into_log()), pruned, lock_pruned)
+    LoadCheck {
+        edges,
+        log: Some(sp.into_log()),
+        pruned,
+        lock_pruned,
+        records,
+    }
 }
 
 /// Lock-based mutual-exclusion sharpening for one store/load pair:
@@ -545,6 +664,9 @@ fn check_load(
 /// path condition, and the killing store must write through the same
 /// address variable (syntactic must-alias) under the store's guard or
 /// unconditionally.
+///
+/// Returns the certificate on success: the shared mutex class and the
+/// killing store.
 #[allow(clippy::too_many_arguments)]
 fn lock_excluded(
     df: &DataflowResult,
@@ -555,9 +677,9 @@ fn lock_excluded(
     l: &LoadSite,
     candidates: &[usize],
     stores: &[StoreSite],
-) -> bool {
+) -> Option<(usize, Label)> {
     if lm.regions.is_empty() {
-        return false;
+        return None;
     }
     let og = mhp.order_graph();
     let strict = |lock: Label, stmt: Label| {
@@ -571,22 +693,25 @@ fn lock_excluded(
         .map(|ri| lm.regions[ri].class)
         .collect();
     if load_classes.is_empty() {
-        return false;
+        return None;
     }
-    lm.regions_containing(og, s.label).into_iter().any(|ri| {
+    lm.regions_containing(og, s.label).into_iter().find_map(|ri| {
         let r = &lm.regions[ri];
         if !load_classes.contains(&r.class) || !strict(r.lock, s.label) {
-            return false;
+            return None;
         }
         // A definite overwrite between the store and its unlock.
-        candidates.iter().any(|&si| {
-            let s2 = &stores[si];
-            s2.label != s.label
-                && s2.addr == s.addr
-                && og.happens_before(s.label, s2.label)
-                && lm.in_region(og, r, s2.label)
-                && (s2.guard == s.guard || s2.guard == tt)
-        })
+        candidates
+            .iter()
+            .map(|&si| &stores[si])
+            .find(|s2| {
+                s2.label != s.label
+                    && s2.addr == s.addr
+                    && og.happens_before(s.label, s2.label)
+                    && lm.in_region(og, r, s2.label)
+                    && (s2.guard == s.guard || s2.guard == tt)
+            })
+            .map(|s2| (r.class, s2.label))
     })
 }
 

@@ -582,7 +582,7 @@ fn topological_events(
 /// `started` is the wall-clock instant solving began (relative to
 /// whatever epoch the caller tracks); only `result` and `stats` are
 /// deterministic — the timing fields carry real wall time.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct QueryOutcome {
     /// Sat/unsat verdict.
     pub result: SmtResult,
@@ -603,6 +603,13 @@ pub struct QueryOutcome {
     /// Blew the per-member conflict budget on the family solver and was
     /// re-solved by the deterministic cube-and-conquer sweep.
     pub cubed: bool,
+    /// On refutation under the incremental strategy: the refuted
+    /// conjunct set (the assumption core mapped back to named
+    /// conjuncts, or the subsuming cached core). Strategy-dependent —
+    /// `None` on the fresh path, memo hits and prefiltered queries —
+    /// so it feeds human-facing explanations only, never the canonical
+    /// audit export.
+    pub core: Option<Vec<TermId>>,
 }
 
 /// Solves many independent queries, optionally in parallel (§5.2:
@@ -640,6 +647,7 @@ pub fn check_all_recorded(
             core_subsumed: false,
             incremental: false,
             cubed: false,
+            core: None,
         }
     };
     if opts.num_threads <= 1 || queries.len() <= 1 {
@@ -709,7 +717,17 @@ impl QueryCache {
     /// Whether some cached refuted conjunct set is a subset of the
     /// (sorted) conjunct set `conj` — if so, `conj` is unsat.
     pub fn subsumes(&self, conj: &[TermId]) -> bool {
-        self.cores.iter().any(|c| is_sorted_subset(c, conj))
+        self.subsuming_core(conj).is_some()
+    }
+
+    /// The first cached refuted conjunct set (in commit order) that is
+    /// a subset of the (sorted) conjunct set `conj` — the certificate
+    /// behind a [`QueryOutcome::core_subsumed`] verdict.
+    pub fn subsuming_core(&self, conj: &[TermId]) -> Option<&[TermId]> {
+        self.cores
+            .iter()
+            .find(|c| is_sorted_subset(c, conj))
+            .map(Vec::as_slice)
     }
 
     /// Records a refuted conjunct set (must be sorted). Empty sets are
@@ -794,8 +812,10 @@ pub struct GroupedOutcome {
     /// batch barrier, 0 under [`SolverStrategy::Fresh`]. Depends only
     /// on the family list and the shard count, never on worker timing.
     pub epochs: u64,
-    /// Per-worker load record. Timing-dependent — strictly for progress
-    /// heartbeats, never for reports or metrics.
+    /// Per-worker load record. Timing-dependent — surfaced only through
+    /// the volatile `canary_dispatch_*` metrics family and the stderr
+    /// progress heartbeat, never through deterministic counters,
+    /// reports, or the canonical audit export.
     pub worker_loads: Vec<WorkerLoad>,
 }
 
@@ -937,6 +957,7 @@ fn solve_family(
         let mut core_subsumed = false;
         let mut incremental = false;
         let mut cubed = false;
+        let mut core: Option<Vec<TermId>> = None;
         // The prefilter runs first in both strategies, so the
         // `prefiltered` counter is strategy-invariant.
         let result = if opts.prefilter && t == pool.tt() {
@@ -951,9 +972,14 @@ fn solve_family(
             stats.memo_hits.fetch_add(1, Ordering::Relaxed);
             memo_hit = true;
             r
-        } else if snapshot.subsumes(&conjs[i]) || local.subsumes(&conjs[i]) {
+        } else if let Some(cached) = snapshot
+            .subsuming_core(&conjs[i])
+            .or_else(|| local.subsuming_core(&conjs[i]))
+            .map(<[TermId]>::to_vec)
+        {
             stats.core_subsumed.fetch_add(1, Ordering::Relaxed);
             core_subsumed = true;
+            core = Some(cached);
             local.memoize(t, SmtResult::Unsat);
             SmtResult::Unsat
         } else {
@@ -968,9 +994,10 @@ fn solve_family(
             } else {
                 fam.sat.stats
             };
-            let (r, escalated) =
+            let (r, escalated, member_core) =
                 solve_member(pool, fam, t, &shared, &conjs[i], opts, stats, &mut q, &mut local, base);
             cubed = escalated;
+            core = member_core;
             stats.absorb(&q);
             local.memoize(t, r);
             r
@@ -984,6 +1011,7 @@ fn solve_family(
             core_subsumed,
             incremental,
             cubed,
+            core,
         });
     }
     FamilyOutput {
@@ -998,8 +1026,9 @@ fn solve_family(
 
 /// One member's CDCL(T) loop on the persistent family solver. On
 /// refutation, records the refuted conjunct set (shared prefix plus
-/// the assumption core's delta conjuncts) into `local`. `base` is the
-/// solver-counter baseline this member's work is measured against.
+/// the assumption core's delta conjuncts) into `local` and returns it
+/// as the member's certificate. `base` is the solver-counter baseline
+/// this member's work is measured against.
 #[allow(clippy::too_many_arguments)]
 fn solve_member(
     pool: &TermPool,
@@ -1012,7 +1041,7 @@ fn solve_member(
     q: &mut QueryStats,
     local: &mut QueryCache,
     base: SatStats,
-) -> (SmtResult, bool) {
+) -> (SmtResult, bool, Option<Vec<TermId>>) {
     let deltas = sorted_diff(conj, shared);
     let mut assumptions = Vec::with_capacity(fam.shared_acts.len() + deltas.len());
     let mut by_lit: HashMap<Lit, TermId> =
@@ -1169,6 +1198,7 @@ fn solve_member(
     q.propagations += fam.sat.stats.propagations - before.propagations;
     q.restarts += fam.sat.stats.restarts - before.restarts;
     q.learned += fam.sat.num_learnt() as u64 - learnt_before;
+    let mut core = None;
     if result == SmtResult::Unsat {
         let refuted = if cubed {
             // Refuted by the cube sweep: each per-cube assumption core
@@ -1223,9 +1253,10 @@ fn solve_member(
             // smaller can be certified.
             conj.to_vec()
         };
-        local.insert_core(refuted);
+        local.insert_core(refuted.clone());
+        core = Some(refuted);
     }
-    (result, cubed)
+    (result, cubed, core)
 }
 
 /// Deterministic split variables for one member's cube escalation: the

@@ -320,11 +320,15 @@ impl MetricsRegistry {
 }
 
 /// Whether a metric family is **volatile** — nondeterministic across
-/// runs by nature (wall-clock times, OS memory accounting) and
-/// therefore zeroed by the normalization helpers, exactly like the
-/// SARIF manifest quarantines `timings`.
+/// runs by nature (wall-clock times, OS memory accounting, work-steal
+/// scheduling) and therefore *dropped wholesale* by the normalization
+/// helpers, exactly like the SARIF manifest quarantines `timings`.
+/// Dropping (rather than zeroing) matters because some volatile
+/// families are conditionally emitted — `canary_dispatch_*` exists
+/// only when a work-stealing dispatch actually ran — so even their
+/// `# TYPE`/`# HELP` headers differ across knobs.
 pub fn family_is_volatile(name: &str) -> bool {
-    name.ends_with("_seconds") || name.contains("_rss_")
+    name.ends_with("_seconds") || name.contains("_rss_") || name.starts_with("canary_dispatch_")
 }
 
 /// Whether a metric family is **strategy-sensitive** — deterministic
@@ -363,18 +367,33 @@ fn sample_family(line: &str) -> Option<&str> {
     Some(name)
 }
 
-/// Zeroes the sample values of volatile and configuration-echo
-/// families (and, when `cross_strategy` is set, the strategy-sensitive
-/// solver-work families) in an OpenMetrics document. Everything left
-/// must be byte-identical across `--threads` values — and, with
-/// `cross_strategy`, across solver strategies.
+/// The family name behind a `# TYPE` / `# HELP` header line; `None`
+/// for sample, blank and `# EOF` lines.
+fn comment_family(line: &str) -> Option<&str> {
+    let rest = line
+        .strip_prefix("# TYPE ")
+        .or_else(|| line.strip_prefix("# HELP "))?;
+    Some(rest.split(' ').next().unwrap_or(rest))
+}
+
+/// Normalizes an OpenMetrics document for determinism comparisons:
+/// *drops* volatile families entirely (headers and samples — some,
+/// like `canary_dispatch_*`, are conditionally emitted, so even their
+/// presence is knob-dependent) and zeroes the sample values of
+/// configuration-echo families (and, when `cross_strategy` is set, the
+/// strategy-sensitive solver-work families, whose presence is
+/// unconditional). Everything left must be byte-identical across
+/// `--threads` values — and, with `cross_strategy`, across solver
+/// strategies.
 pub fn normalize_openmetrics(text: &str, cross_strategy: bool) -> String {
     let mut out = String::with_capacity(text.len());
     for line in text.lines() {
+        let fam = sample_family(line).or_else(|| comment_family(line));
+        if fam.is_some_and(family_is_volatile) {
+            continue;
+        }
         let zero = sample_family(line).is_some_and(|fam| {
-            family_is_volatile(fam)
-                || family_is_config(fam)
-                || (cross_strategy && family_is_strategy_sensitive(fam))
+            family_is_config(fam) || (cross_strategy && family_is_strategy_sensitive(fam))
         });
         match (zero, line.rsplit_once(' ')) {
             (true, Some((head, _))) => {
@@ -390,9 +409,10 @@ pub fn normalize_openmetrics(text: &str, cross_strategy: bool) -> String {
     out
 }
 
-/// [`normalize_openmetrics`] for the JSON rendering: zeroes the same
-/// families in a parsed `registry` block (as produced by
-/// [`MetricsRegistry::to_json`]) in place.
+/// [`normalize_openmetrics`] for the JSON rendering: drops volatile
+/// families and zeroes the same knob-echoing families in a parsed
+/// `registry` block (as produced by [`MetricsRegistry::to_json`]) in
+/// place.
 pub fn normalize_registry_json(doc: &mut serde_json::Value, cross_strategy: bool) {
     let serde_json::Value::Object(top) = doc else {
         return;
@@ -400,11 +420,12 @@ pub fn normalize_registry_json(doc: &mut serde_json::Value, cross_strategy: bool
     let Some(serde_json::Value::Array(families)) = top.get_mut("families") else {
         return;
     };
+    families.retain(|fam| {
+        !fam["name"].as_str().is_some_and(family_is_volatile)
+    });
     for fam in families {
         let zero = fam["name"].as_str().is_some_and(|name| {
-            family_is_volatile(name)
-                || family_is_config(name)
-                || (cross_strategy && family_is_strategy_sensitive(name))
+            family_is_config(name) || (cross_strategy && family_is_strategy_sensitive(name))
         });
         if !zero {
             continue;
@@ -518,25 +539,41 @@ mod tests {
     }
 
     #[test]
-    fn volatile_families_are_normalized() {
+    fn volatile_families_are_dropped_wholesale() {
         let mut reg = MetricsRegistry::new();
         reg.set_gauge("canary_phase_wall_seconds", "wall", &[("phase", "alg1")], 1.25);
         reg.set_gauge("canary_phase_peak_rss_bytes", "rss", &[("phase", "alg1")], 4096.0);
+        reg.set_gauge(
+            "canary_dispatch_worker_families",
+            "loads",
+            &[("worker", "0")],
+            3.0,
+        );
         reg.set_gauge("canary_vfg_nodes", "nodes", &[], 11.0);
         reg.add_counter("canary_solver_decisions", "cdcl", &[], 9.0);
         let text = reg.to_openmetrics();
         let norm = normalize_openmetrics(&text, false);
-        assert!(norm.contains("canary_phase_wall_seconds{phase=\"alg1\"} 0\n"));
-        assert!(norm.contains("canary_phase_peak_rss_bytes{phase=\"alg1\"} 0\n"));
+        // Conditionally-emitted volatile families (dispatch loads)
+        // would leave differing # TYPE/# HELP headers if merely
+        // zeroed, so the whole block — headers included — must go.
+        assert!(!norm.contains("canary_phase_wall_seconds"), "{norm}");
+        assert!(!norm.contains("canary_phase_peak_rss_bytes"), "{norm}");
+        assert!(!norm.contains("canary_dispatch_worker_families"), "{norm}");
         assert!(norm.contains("canary_vfg_nodes 11\n"));
         assert!(norm.contains("canary_solver_decisions_total 9\n"));
         let cross = normalize_openmetrics(&text, true);
         assert!(cross.contains("canary_solver_decisions_total 0\n"));
         assert!(cross.contains("canary_vfg_nodes 11\n"));
+        // A registry without the conditional family normalizes to the
+        // same text as one with it.
+        let mut bare = MetricsRegistry::new();
+        bare.set_gauge("canary_vfg_nodes", "nodes", &[], 11.0);
+        bare.add_counter("canary_solver_decisions", "cdcl", &[], 9.0);
+        assert_eq!(norm, normalize_openmetrics(&bare.to_openmetrics(), false));
     }
 
     #[test]
-    fn json_normalization_zeroes_the_same_families() {
+    fn json_normalization_drops_the_same_families() {
         let mut reg = MetricsRegistry::new();
         reg.observe(
             "canary_smt_query_seconds",
@@ -545,16 +582,20 @@ mod tests {
             &SECONDS_BUCKETS,
             0.002,
         );
+        reg.set_gauge(
+            "canary_dispatch_worker_stolen",
+            "steals",
+            &[("worker", "1")],
+            2.0,
+        );
         reg.set_gauge("canary_vfg_nodes", "nodes", &[], 5.0);
         let mut doc = reg.to_json();
         normalize_registry_json(&mut doc, false);
         let fams = doc["families"].as_array().unwrap();
-        let hist = fams
+        assert!(!fams
             .iter()
-            .find(|f| f["name"] == "canary_smt_query_seconds")
-            .unwrap();
-        assert_eq!(hist["samples"][0]["sum"], 0);
-        assert_eq!(hist["samples"][0]["count"], 0);
+            .any(|f| f["name"] == "canary_smt_query_seconds"
+                || f["name"] == "canary_dispatch_worker_stolen"));
         let gauge = fams.iter().find(|f| f["name"] == "canary_vfg_nodes").unwrap();
         assert_eq!(gauge["samples"][0]["value"].as_f64(), Some(5.0));
     }
@@ -570,7 +611,10 @@ mod tests {
     fn classification_rules() {
         assert!(family_is_volatile("canary_phase_wall_seconds"));
         assert!(family_is_volatile("canary_phase_peak_rss_bytes"));
+        assert!(family_is_volatile("canary_dispatch_worker_families"));
+        assert!(family_is_volatile("canary_dispatch_worker_stolen"));
         assert!(!family_is_volatile("canary_vfg_bytes"));
+        assert!(!family_is_volatile("canary_audit_candidates"));
         assert!(family_is_strategy_sensitive("canary_solver_memo_hits"));
         assert!(!family_is_strategy_sensitive("canary_detect_queries"));
         assert!(family_is_config("canary_worker_threads"));

@@ -4,6 +4,8 @@
 //! canary <program.cir> [options]
 //! canary diff <baseline.sarif> <current.sarif>
 //! canary bench diff <old.json> <new.json> [--tolerance PCT]
+//! canary why <program.cir> <fingerprint> [options]
+//! canary why-not <program.cir> <source_label> <sink_label> [options]
 //!
 //! options:
 //!   --checkers LIST       comma list of uaf,doublefree,nullderef,leak,
@@ -54,6 +56,10 @@
 //!                         Perfetto or chrome://tracing)
 //!   --metrics-out FILE    write the run-health metrics registry as
 //!                         OpenMetrics text (scrape-ready)
+//!   --audit-out FILE      write the per-candidate audit log as JSONL
+//!                         (one disposition certificate per line; see
+//!                         docs/audit_schema.md) — byte-identical
+//!                         across every scheduling and strategy knob
 //!   --slow-query-ms N     log any SMT query at or over N ms to stderr
 //!                         with its full QueryProfile attribution
 //!   --log LEVEL           off, summary or debug; overrides CANARY_LOG
@@ -70,6 +76,13 @@
 //! 5%) and exits 0 (within tolerance), 1 (a time/memory/work metric
 //! regressed) or 2 (error) — the CI regression gate over the bench
 //! trajectory. See `docs/observability.md`.
+//!
+//! The `why` subcommand re-analyzes a program and explains one emitted
+//! finding by its stable fingerprint (exit 0 found, 1 not found, 2 on
+//! error); `why-not` explains why a source/sink pair was *not*
+//! reported, printing the audit layer's disposition certificates for
+//! the pair — MHP facts, lock-sharpening witnesses, prefilter folds,
+//! UNSAT conjuncts, memo origins (same exit conventions).
 //!
 //! The `CANARY_LOG` environment variable (`summary` or `debug`) turns
 //! on human-readable progress lines on stderr; stdout stays reserved
@@ -103,10 +116,12 @@ fn usage() -> ! {
          [--shards N] [--cube-split N] [--memory-budget-mb N] [--unroll K] \
          [--context-depth N] [--max-paths N] [--max-path-len N] \
          [--tool canary|saber|fsam] [--explain] [--verify-witnesses] \
-         [--trace-out FILE] [--metrics-out FILE] [--slow-query-ms N] \
-         [--log off|summary|debug] [--stats]\n\
+         [--trace-out FILE] [--metrics-out FILE] [--audit-out FILE] \
+         [--slow-query-ms N] [--log off|summary|debug] [--stats]\n\
          \x20      canary diff <baseline.sarif> <current.sarif>\n\
-         \x20      canary bench diff <old.json> <new.json> [--tolerance PCT]"
+         \x20      canary bench diff <old.json> <new.json> [--tolerance PCT]\n\
+         \x20      canary why <program.cir> <fingerprint> [options]\n\
+         \x20      canary why-not <program.cir> <source_label> <sink_label> [options]"
     );
     std::process::exit(2);
 }
@@ -133,6 +148,7 @@ struct Cli {
     tool: Tool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    audit_out: Option<String>,
     json_out: Option<String>,
     sarif_out: Option<String>,
     baseline: Option<String>,
@@ -146,6 +162,7 @@ fn parse_args(args: &[String]) -> Cli {
     let mut tool = Tool::Canary;
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut audit_out: Option<String> = None;
     let mut json_out: Option<String> = None;
     let mut sarif_out: Option<String> = None;
     let mut baseline: Option<String> = None;
@@ -348,6 +365,11 @@ fn parse_args(args: &[String]) -> Cli {
                 let Some(path) = args.get(i) else { usage() };
                 metrics_out = Some(path.clone());
             }
+            "--audit-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else { usage() };
+                audit_out = Some(path.clone());
+            }
             "--slow-query-ms" => {
                 i += 1;
                 let Some(n) = args.get(i).and_then(|s| s.parse().ok()) else {
@@ -392,6 +414,7 @@ fn parse_args(args: &[String]) -> Cli {
         tool,
         trace_out,
         metrics_out,
+        audit_out,
         json_out,
         sarif_out,
         baseline,
@@ -525,6 +548,134 @@ fn run_baseline(prog: &canary_ir::Program, tool: &Tool) -> ExitCode {
     }
 }
 
+/// Parses a label operand: either a bare statement index (`12`) or the
+/// rendered form the reports print (`l12`).
+fn parse_label(s: &str) -> Option<canary_ir::Label> {
+    let digits = s.strip_prefix('l').unwrap_or(s);
+    digits.parse::<u32>().ok().map(canary_ir::Label)
+}
+
+/// Shared front half of the `why` / `why-not` subcommands: `operands`
+/// are the arguments after the verb-specific positionals, forwarded
+/// through the regular option parser with the program path prepended
+/// (so `--checkers`, `--solver-strategy`, ... all apply).
+fn analyze_for_audit(
+    file: &str,
+    operands: &[String],
+) -> Result<(canary_ir::Program, canary_core::AnalysisOutcome), ExitCode> {
+    let mut forwarded = vec![file.to_string()];
+    forwarded.extend_from_slice(operands);
+    let cli = parse_args(&forwarded);
+    let src = match std::fs::read_to_string(&cli.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("canary: cannot read {}: {e}", cli.file);
+            return Err(ExitCode::from(2));
+        }
+    };
+    let prog = match canary_ir::parse_with(&src, &cli.config.parse) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("canary: {}: {e}", cli.file);
+            return Err(ExitCode::from(2));
+        }
+    };
+    if let Err(e) = prog.validate() {
+        eprintln!("canary: {}: invalid program: {e}", cli.file);
+        return Err(ExitCode::from(2));
+    }
+    let outcome = Canary::with_config(cli.config.clone()).analyze(&prog);
+    Ok((prog, outcome))
+}
+
+/// `canary why <program.cir> <fingerprint>`: re-analyzes the program
+/// and explains one emitted finding by its stable fingerprint — the
+/// finding itself plus its audit trail (the winning record and any
+/// duplicates it absorbed). Exits 0 when found, 1 when no report
+/// carries the fingerprint, 2 on malformed input.
+fn run_why(args: &[String]) -> ExitCode {
+    let (Some(file), Some(fp_str)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: canary why <program.cir> <fingerprint> [options]");
+        return ExitCode::from(2);
+    };
+    let Some(fp) = canary_detect::Fingerprint::parse(fp_str) else {
+        eprintln!("canary why: not a fingerprint (expected 16 hex digits): {fp_str}");
+        return ExitCode::from(2);
+    };
+    let (prog, outcome) = match analyze_for_audit(file, &args[2..]) {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let prog = outcome.analyzed_program.as_ref().unwrap_or(&prog);
+    let mut found = false;
+    for r in &outcome.reports {
+        if r.fingerprint(prog) != fp {
+            continue;
+        }
+        found = true;
+        println!(
+            "{fp} [{}] {} -> {}",
+            r.kind,
+            canary_ir::render_inst(prog, r.source),
+            canary_ir::render_inst(prog, r.sink),
+        );
+    }
+    for rec in outcome.metrics.audit.records() {
+        let relevant = match &rec.disposition {
+            Some(canary_detect::Disposition::Reported { fingerprint }) => *fingerprint == fp,
+            Some(canary_detect::Disposition::Deduped { winner }) => *winner == fp,
+            _ => false,
+        };
+        if relevant {
+            println!("{}", rec.describe());
+        }
+    }
+    if found {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("canary why: no report with fingerprint {fp} in {file}");
+        ExitCode::from(1)
+    }
+}
+
+/// `canary why-not <program.cir> <source_label> <sink_label>`:
+/// re-analyzes the program and prints every audit certificate recorded
+/// for the pair — MHP facts, lock-sharpening killing stores, prefilter
+/// folds, UNSAT conjuncts, memo origins — or, for a reported pair, the
+/// reported/deduped trail. Exits 0 when the pair has records, 1 when
+/// it was never enumerated, 2 on malformed input.
+fn run_why_not(args: &[String]) -> ExitCode {
+    let (Some(file), Some(src_s), Some(sink_s)) = (args.first(), args.get(1), args.get(2))
+    else {
+        eprintln!("usage: canary why-not <program.cir> <source_label> <sink_label> [options]");
+        return ExitCode::from(2);
+    };
+    let (Some(src_label), Some(sink_label)) = (parse_label(src_s), parse_label(sink_s)) else {
+        eprintln!(
+            "canary why-not: labels are bare statement indices (`12`) or the \
+             rendered form (`l12`); got {src_s} / {sink_s}"
+        );
+        return ExitCode::from(2);
+    };
+    let (_prog, outcome) = match analyze_for_audit(file, &args[3..]) {
+        Ok(t) => t,
+        Err(e) => return e,
+    };
+    let records = outcome.metrics.audit.find_pair(src_label, sink_label);
+    if records.is_empty() {
+        println!(
+            "no candidate {src_label} -> {sink_label}: the pair was never \
+             enumerated — no value-flow path connects the labels (or they \
+             name no source/sink the enabled checkers consider)"
+        );
+        return ExitCode::from(1);
+    }
+    for rec in records {
+        println!("{}", rec.describe());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("diff") {
@@ -536,6 +687,12 @@ fn main() -> ExitCode {
         }
         eprintln!("usage: canary bench diff <old.json> <new.json> [--tolerance PCT]");
         return ExitCode::from(2);
+    }
+    if args.first().map(String::as_str) == Some("why") {
+        return run_why(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("why-not") {
+        return run_why_not(&args[1..]);
     }
     let cli = parse_args(&args);
     let src = match std::fs::read_to_string(&cli.file) {
@@ -574,6 +731,11 @@ fn main() -> ExitCode {
     if let Some(path) = &cli.metrics_out {
         let registry = outcome.metrics.to_registry();
         if let Err(e) = write_output(path, &registry.to_openmetrics()) {
+            return e;
+        }
+    }
+    if let Some(path) = &cli.audit_out {
+        if let Err(e) = write_output(path, &outcome.metrics.audit.to_jsonl()) {
             return e;
         }
     }
@@ -803,8 +965,9 @@ fn json_document(
                 })
             })
             .collect();
+        let audit = m.audit.reconcile().unwrap_or_default();
         let doc = serde_json::json!({
-            "schema_version": 2,
+            "schema_version": 3,
             "canary_version": env!("CARGO_PKG_VERSION"),
             "rustc_version": env!("CANARY_RUSTC_VERSION"),
             "file": cli.file,
@@ -863,6 +1026,19 @@ fn json_document(
                 },
                 "hot_queries": hot_queries,
                 "hot_functions": hot_functions,
+                "audit": {
+                    "candidates": audit.candidates,
+                    "reported": audit.reported,
+                    "deduped": audit.deduped,
+                    "prefiltered": audit.prefiltered,
+                    "unsat": audit.unsat,
+                    "memoized": audit.memoized,
+                    "scope_filtered": audit.scope_filtered,
+                    "path_budget": audit.path_budget,
+                    "pruned_mhp": audit.pruned_mhp,
+                    "pruned_lock": audit.pruned_lock,
+                    "pruned_order": audit.pruned_order,
+                },
             },
         });
         doc
@@ -972,6 +1148,10 @@ fn print_text_output(
                 m.detect.cube_escalated,
                 cli.config.detect.solver.cube_split,
             );
+            match m.audit.reconcile() {
+                Ok(summary) => println!("{}", summary.render()),
+                Err(e) => println!("audit: RECONCILIATION FAILED: {e}"),
+            }
             if m.spill.budget_bytes > 0 || m.spill.entries > 0 {
                 println!(
                     "spill: {} entr(ies), {} bytes written | {} evictions, \

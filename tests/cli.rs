@@ -179,7 +179,7 @@ fn json_document_is_versioned_and_fingerprinted() {
     let path = write_temp("racy_schema.cir", RACY);
     let out = canary_bin().arg(&path).arg("--json").output().unwrap();
     let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
-    assert_eq!(doc["schema_version"], 2, "consumers gate on schema_version");
+    assert_eq!(doc["schema_version"], 3, "consumers gate on schema_version");
     let fp = doc["reports"][0]["fingerprint"].as_str().unwrap();
     assert_eq!(fp.len(), 16, "16 hex digits: {fp}");
     assert!(fp.chars().all(|c| c.is_ascii_hexdigit()), "{fp}");
@@ -212,7 +212,13 @@ fn sarif_format_and_sarif_out_agree() {
 #[test]
 fn unwritable_output_paths_exit_two_cleanly() {
     let path = write_temp("racy_unwritable.cir", RACY);
-    for flag in ["--sarif-out", "--json-out", "--trace-out", "--metrics-out"] {
+    for flag in [
+        "--sarif-out",
+        "--json-out",
+        "--trace-out",
+        "--metrics-out",
+        "--audit-out",
+    ] {
         let out = canary_bin()
             .arg(&path)
             .args([flag, "/nonexistent-dir/out.file"])
@@ -499,4 +505,157 @@ fn unroll_flag_changes_bounding() {
         // alloc + free + `use` per unrolled copy.
         assert_eq!(stmts, 2 + expect_derefs, "unroll {unroll}");
     }
+}
+
+#[test]
+fn audit_out_writes_one_json_record_per_line() {
+    let path = write_temp("racy_audit.cir", RACY);
+    let out_path = std::env::temp_dir().join("canary-cli-tests/racy_audit.jsonl");
+    let out = canary_bin()
+        .arg(&path)
+        .arg("--audit-out")
+        .arg(&out_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "findings still gate the exit code");
+    let jsonl = std::fs::read_to_string(&out_path).unwrap();
+    assert!(!jsonl.trim().is_empty(), "a reported pair must be audited");
+    let mut saw_reported = false;
+    for (i, line) in jsonl.lines().enumerate() {
+        let rec: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("line {i}: {e}: {line}"));
+        assert_eq!(rec["seq"], i as u64, "seq is the line number");
+        for key in ["layer", "source", "disposition", "certificate"] {
+            assert!(rec[key] != serde_json::Value::Null || key == "certificate", "{key} missing: {line}");
+        }
+        if rec["disposition"] == "reported" {
+            saw_reported = true;
+            let fp = rec["certificate"]["fingerprint"].as_str().unwrap();
+            assert_eq!(fp.len(), 16, "{fp}");
+        }
+    }
+    assert!(saw_reported, "{jsonl}");
+}
+
+#[test]
+fn audit_export_is_byte_identical_across_scheduling_knobs() {
+    let path = write_temp("racy_audit_knobs.cir", RACY);
+    let run = |extra: &[&str]| -> String {
+        let out_path = std::env::temp_dir().join(format!(
+            "canary-cli-tests/audit-knobs-{}.jsonl",
+            extra.join("_").replace('/', "-")
+        ));
+        let out = canary_bin()
+            .arg(&path)
+            .arg("--audit-out")
+            .arg(&out_path)
+            .args(extra)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1));
+        std::fs::read_to_string(&out_path).unwrap()
+    };
+    let base = run(&["--solver-strategy", "fresh"]);
+    for extra in [
+        &["--solver-strategy", "incremental"][..],
+        &["--threads", "4", "--solver-threads", "4"][..],
+        &["--dispatch", "static", "--shards", "8"][..],
+        &["--cube-split", "2"][..],
+        &["--explain"][..],
+    ] {
+        assert_eq!(base, run(extra), "{extra:?}");
+    }
+}
+
+#[test]
+fn why_explains_a_reported_fingerprint() {
+    let path = write_temp("racy_why.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let fp = doc["reports"][0]["fingerprint"].as_str().unwrap().to_string();
+    let out = canary_bin().arg("why").arg(&path).arg(&fp).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&fp), "{stdout}");
+    assert!(stdout.contains("reported: confirmed finding"), "{stdout}");
+    // Unknown (but well-formed) fingerprint: exit 1.
+    let out = canary_bin()
+        .arg("why")
+        .arg(&path)
+        .arg("0000000000000000")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Malformed fingerprint: usage error.
+    let out = canary_bin().arg("why").arg(&path).arg("nope").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // Missing operands: usage error.
+    let out = canary_bin().arg("why").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn why_not_prints_certificates_and_exit_codes() {
+    // A reported pair answers "reported".
+    let path = write_temp("racy_whynot.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let src_label = doc["reports"][0]["source"]["label"].as_u64().unwrap();
+    let sink_label = doc["reports"][0]["sink"]["label"].as_u64().unwrap();
+    let out = canary_bin()
+        .arg("why-not")
+        .arg(&path)
+        .arg(format!("l{src_label}"))
+        .arg(sink_label.to_string()) // bare index spelling also accepted
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reported"), "{stdout}");
+    // A never-enumerated pair explains itself and exits 1.
+    let out = canary_bin()
+        .arg("why-not")
+        .arg(&path)
+        .args(["l999", "l998"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("never enumerated"), "{stdout}");
+    // Malformed labels: usage error.
+    let out = canary_bin()
+        .arg("why-not")
+        .arg(&path)
+        .args(["abc", "def"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn json_metrics_carry_the_audit_summary() {
+    let path = write_temp("racy_audit_json.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--json").output().unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let audit = &doc["metrics"]["audit"];
+    let candidates = audit["candidates"].as_u64().unwrap();
+    let parts = ["reported", "deduped", "prefiltered", "unsat", "memoized", "scope_filtered"]
+        .iter()
+        .map(|k| audit[*k].as_u64().unwrap())
+        .sum::<u64>();
+    assert_eq!(candidates, parts, "reconciliation invariant in --json: {audit}");
+    assert_eq!(audit["reported"].as_u64().unwrap(), 1);
+}
+
+#[test]
+fn stats_prints_the_audit_reconciliation_line() {
+    let path = write_temp("racy_audit_stats.cir", RACY);
+    let out = canary_bin().arg(&path).arg("--stats").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("audit: "))
+        .unwrap_or_else(|| panic!("no audit line: {stdout}"));
+    assert!(line.contains("candidates"), "{line}");
+    assert!(!line.contains("FAILED"), "{line}");
 }
